@@ -1,0 +1,111 @@
+// Command dbpal-bench regenerates the tables and figures of the DBPal
+// paper's evaluation (SIGMOD 2020, §6) on the synthetic substrate of
+// this repository:
+//
+//	dbpal-bench -table 2      Spider benchmark by difficulty
+//	dbpal-bench -table 3      Patients benchmark by linguistic category
+//	dbpal-bench -table 4      pattern-coverage breakdown
+//	dbpal-bench -figure 3     seed-template fraction sweep
+//	dbpal-bench -figure 4     hyperparameter random-search histogram
+//	dbpal-bench -ablation     pipeline design-choice ablations
+//	dbpal-bench -all          everything above
+//
+// Flags -quick (reduced scale), -model sketch|seq2seq, and -seed
+// control the run. Results are printed in the same row/series layout
+// the paper reports; see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "regenerate table 2, 3, or 4")
+		figure    = flag.Int("figure", 0, "regenerate figure 3 or 4")
+		ablation  = flag.Bool("ablation", false, "run the pipeline ablations")
+		searchcmp = flag.Bool("searchcmp", false, "compare random vs model-based hyperparameter search")
+		all       = flag.Bool("all", false, "run every experiment")
+		quick     = flag.Bool("quick", false, "reduced scale (faster, noisier)")
+		model     = flag.String("model", "sketch", "translator: sketch | seq2seq")
+		seed      = flag.Int64("seed", 7, "experiment seed")
+		trials    = flag.Int("trials", 0, "override hyperopt trial count (figure 4)")
+	)
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	scale.ModelKind = *model
+	scale.Seed = *seed
+	if *trials > 0 {
+		scale.HyperoptTrials = *trials
+	}
+
+	ran := false
+	start := time.Now()
+	run := func(name string, fn func()) {
+		t0 := time.Now()
+		fn()
+		fmt.Printf("[%s finished in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+		ran = true
+	}
+
+	wantTable := func(n int) bool { return *all || *table == n }
+	wantFigure := func(n int) bool { return *all || *figure == n }
+
+	if wantTable(2) || wantTable(4) {
+		run("spider experiment", func() {
+			e := experiments.RunSpider(scale)
+			if wantTable(2) {
+				fmt.Println(e.Table2())
+			}
+			if wantTable(4) {
+				fmt.Println(e.Table4())
+			}
+		})
+	}
+	if wantTable(3) {
+		run("patients experiment", func() {
+			e := experiments.RunPatients(scale)
+			fmt.Println(e.Table3())
+		})
+	}
+	if wantFigure(3) {
+		run("figure 3", func() {
+			fmt.Println(experiments.RunFigure3(scale).Format())
+		})
+	}
+	if wantFigure(4) {
+		run("figure 4", func() {
+			fmt.Println(experiments.RunFigure4(scale).Format())
+		})
+	}
+	if *all || *ablation {
+		run("ablations", func() {
+			fmt.Println(experiments.RunAblations(scale).Format())
+		})
+	}
+	if *searchcmp {
+		run("search comparison", func() {
+			cmpScale := scale
+			if cmpScale.HyperoptTrials > 16 {
+				cmpScale.HyperoptTrials = 16 // two full searches; keep the budget sane
+			}
+			fmt.Println(experiments.RunSearchComparison(cmpScale).Format())
+		})
+	}
+
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}

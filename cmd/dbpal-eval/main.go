@@ -1,0 +1,99 @@
+// Command dbpal-eval evaluates a trained model (saved by dbpal-train)
+// or a freshly bootstrapped one on the Patients benchmark, printing
+// per-category semantic-equivalence accuracy and, optionally, every
+// failure for error analysis.
+//
+//	dbpal-eval -load patients.model -model sketch
+//	dbpal-eval -train -failures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dbpal "repro"
+	"repro/internal/eval"
+	"repro/internal/models"
+	"repro/internal/patients"
+)
+
+func main() {
+	var (
+		modelKind = flag.String("model", "sketch", "translator: sketch | seq2seq")
+		loadPath  = flag.String("load", "", "model file saved by dbpal-train")
+		train     = flag.Bool("train", false, "bootstrap and train a fresh model instead of loading")
+		failures  = flag.Bool("failures", false, "print every failed case")
+		seed      = flag.Int64("seed", 1, "pipeline/training seed for -train")
+	)
+	flag.Parse()
+
+	var model dbpal.Translator
+	switch {
+	case *loadPath != "":
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *modelKind == "seq2seq" {
+			model, err = models.LoadSeq2Seq(f)
+		} else {
+			model, err = models.LoadSketch(f)
+		}
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *train:
+		s := patients.Schema()
+		t0 := time.Now()
+		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
+		fmt.Printf("synthesized %d pairs\n", len(pairs))
+		if *modelKind == "seq2seq" {
+			cfg := dbpal.DefaultSeq2SeqConfig()
+			cfg.Seed = *seed
+			m := dbpal.NewSeq2Seq(cfg)
+			m.Train(dbpal.TrainingExamples(pairs, s))
+			model = m
+		} else {
+			cfg := dbpal.DefaultSketchConfig()
+			cfg.Seed = *seed
+			m := dbpal.NewSketch(cfg)
+			m.Train(dbpal.TrainingExamples(pairs, s))
+			model = m
+		}
+		fmt.Printf("trained in %s\n", time.Since(t0).Round(time.Millisecond))
+	default:
+		fmt.Fprintln(os.Stderr, "pass -load <file> or -train")
+		os.Exit(2)
+	}
+
+	db, err := patients.Database()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep := eval.EvalPatients(model, db, patients.Cases())
+
+	fmt.Printf("\nPatients benchmark (%s model, semantic equivalence)\n", model.Name())
+	for _, c := range patients.Categories {
+		fmt.Printf("  %-14s %s\n", c, rep.ByCategory[c])
+	}
+	fmt.Printf("  %-14s %s\n", "Overall", &rep.Overall)
+
+	if *failures {
+		fmt.Printf("\n%d failures:\n", len(rep.Failures))
+		for _, f := range rep.Failures {
+			fmt.Printf("- [%s] %s\n  gold: %s\n", f.Case.ID, f.Case.NL, f.Case.SQL)
+			if f.Pred != "" {
+				fmt.Printf("  pred: %s\n", f.Pred)
+			}
+			if f.Err != "" {
+				fmt.Printf("  err:  %s\n", f.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command dbpal-train bootstraps a translation model for a schema
+// using DBPal's synthesized training data and saves the trained model
+// (configuration + vocabulary + weights) to a file that cmd/dbpal can
+// load with -load.
+//
+//	dbpal-train -schema patients -model sketch -o patients.model
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	dbpal "repro"
+	"repro/internal/models"
+	"repro/internal/patients"
+	"repro/internal/spider"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "patients", "schema: patients or a Spider-zoo name")
+		modelKind  = flag.String("model", "sketch", "translator: sketch | seq2seq")
+		out        = flag.String("o", "dbpal.model", "output model file")
+		seed       = flag.Int64("seed", 1, "pipeline and training seed")
+		epochs     = flag.Int("epochs", 0, "override training epochs")
+	)
+	flag.Parse()
+
+	var s *dbpal.Schema
+	if *schemaName == "patients" {
+		s = patients.Schema()
+	} else {
+		s = spider.SchemaByName(*schemaName)
+	}
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "unknown schema %q\n", *schemaName)
+		os.Exit(1)
+	}
+
+	t0 := time.Now()
+	pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
+	fmt.Printf("pipeline synthesized %d pairs for %q in %s\n", len(pairs), s.Name, time.Since(t0).Round(time.Millisecond))
+	exs := dbpal.TrainingExamples(pairs, s)
+
+	t1 := time.Now()
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	switch *modelKind {
+	case "seq2seq":
+		cfg := dbpal.DefaultSeq2SeqConfig()
+		cfg.Seed = *seed
+		if *epochs > 0 {
+			cfg.Epochs = *epochs
+		}
+		m := models.NewSeq2Seq(cfg)
+		m.Train(exs)
+		fmt.Printf("trained seq2seq (%d params) in %s\n", m.NumParams(), time.Since(t1).Round(time.Millisecond))
+		if err := m.SaveFull(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		cfg := dbpal.DefaultSketchConfig()
+		cfg.Seed = *seed
+		if *epochs > 0 {
+			cfg.Epochs = *epochs
+		}
+		m := models.NewSketch(cfg)
+		m.Train(exs)
+		fmt.Printf("trained sketch model (%d sketches) in %s\n", m.NumSketches(), time.Since(t1).Round(time.Millisecond))
+		if err := m.SaveFull(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("saved to %s\n", *out)
+}

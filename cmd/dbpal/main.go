@@ -1,0 +1,158 @@
+// Command dbpal is the interactive natural-language-to-SQL interface
+// of the paper's Figure 1: it bootstraps a DBPal model for a chosen
+// schema — no manually labeled training data, only the schema and the
+// seed templates — and then answers NL questions typed on stdin,
+// showing the translated SQL and the tabular result.
+//
+//	dbpal -schema patients
+//	> show the names of all patients with age 80
+//
+// Schemas: "patients" (the paper's benchmark database) or any schema
+// of the synthetic Spider zoo (flights, college, geo, ...). Use -model
+// to pick the translator architecture and -load to reuse weights saved
+// by dbpal-train.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	dbpal "repro"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/patients"
+	"repro/internal/spider"
+)
+
+func main() {
+	var (
+		schemaName = flag.String("schema", "patients", "schema: patients | flights | college | geo | ...")
+		modelKind  = flag.String("model", "sketch", "translator: sketch | seq2seq")
+		loadPath   = flag.String("load", "", "load model weights saved by dbpal-train instead of training")
+		seed       = flag.Int64("seed", 1, "pipeline and training seed")
+		rows       = flag.Int("rows", 40, "synthetic rows per table for non-patients schemas")
+		verbose    = flag.Bool("verbose", false, "print the full translation lifecycle per question")
+		execGuided = flag.Int("execguided", 1, "try up to N ranked candidates, keeping the first that executes")
+	)
+	flag.Parse()
+
+	s, db, err := resolveSchema(*schemaName, *rows, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var model dbpal.Translator
+	if *loadPath != "" {
+		model, err = loadModel(*modelKind, *loadPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("loaded %s model from %s\n", *modelKind, *loadPath)
+	} else {
+		fmt.Printf("bootstrapping DBPal for schema %q (%s model)...\n", s.Name, *modelKind)
+		t0 := time.Now()
+		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
+		fmt.Printf("  pipeline synthesized %d NL-SQL pairs\n", len(pairs))
+		model = newModel(*modelKind, *seed)
+		model.Train(dbpal.TrainingExamples(pairs, s))
+		fmt.Printf("  trained in %s\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	nli := dbpal.NewInterface(db, model)
+	nli.ExecutionGuided = *execGuided
+	fmt.Println("type a question (empty line or ctrl-d to quit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			break
+		}
+		if *verbose {
+			q, trace, err := nli.TranslateTrace(line)
+			fmt.Println(indent(trace.String(), "  "))
+			if err != nil {
+				fmt.Printf("  error: %v\n", err)
+				continue
+			}
+			res, execErr := nli.DB.Execute(q)
+			if execErr != nil {
+				fmt.Printf("  error: %v\n", execErr)
+				continue
+			}
+			fmt.Println(indent(res.String(), "  "))
+			continue
+		}
+		res, q, err := nli.Ask(line)
+		if err != nil {
+			fmt.Printf("  error: %v\n", err)
+			continue
+		}
+		fmt.Printf("  SQL: %s\n%s\n", q, indent(res.String(), "  "))
+	}
+}
+
+func resolveSchema(name string, rows int, seed int64) (*dbpal.Schema, *dbpal.Database, error) {
+	if name == "patients" {
+		db, err := patients.Database()
+		if err != nil {
+			return nil, nil, err
+		}
+		return patients.Schema(), db, nil
+	}
+	s := spider.SchemaByName(name)
+	if s == nil {
+		var names []string
+		for _, z := range spider.AllSchemas() {
+			names = append(names, z.Name)
+		}
+		return nil, nil, fmt.Errorf("unknown schema %q; available: patients, %s", name, strings.Join(names, ", "))
+	}
+	db, err := engine.GenerateData(s, rows, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, db, nil
+}
+
+func newModel(kind string, seed int64) dbpal.Translator {
+	switch kind {
+	case "seq2seq":
+		cfg := dbpal.DefaultSeq2SeqConfig()
+		cfg.Seed = seed
+		return dbpal.NewSeq2Seq(cfg)
+	default:
+		cfg := dbpal.DefaultSketchConfig()
+		cfg.Seed = seed
+		return dbpal.NewSketch(cfg)
+	}
+}
+
+func loadModel(kind, path string) (dbpal.Translator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if kind == "seq2seq" {
+		return models.LoadSeq2Seq(f)
+	}
+	return models.LoadSketch(f)
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,199 @@
+package augment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/schema"
+	"repro/internal/tokens"
+)
+
+func ageSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "hospital",
+		Tables: []*schema.Table{
+			{Name: "patients", Readable: "patient", Columns: []*schema.Column{
+				{Name: "id", Type: schema.Number, PrimaryKey: true},
+				{Name: "name", Type: schema.Text},
+				{Name: "age", Type: schema.Number, Domain: schema.DomainAge},
+			}},
+		},
+	}
+}
+
+func pairGT() generator.Pair {
+	return generator.Pair{
+		NL:         "show the name of patients with age greater than @PATIENTS.AGE",
+		SQL:        "SELECT name FROM patients WHERE age > @PATIENTS.AGE",
+		TemplateID: "filter-gt",
+	}
+}
+
+func TestAugmentKeepsOriginals(t *testing.T) {
+	a := New(ageSchema(), DefaultParams(), 1)
+	in := []generator.Pair{pairGT()}
+	out := a.Augment(in)
+	if len(out) < len(in) {
+		t.Fatal("augmentation lost pairs")
+	}
+	if out[0] != in[0] {
+		t.Fatal("original pair must come first")
+	}
+	if len(out) == len(in) {
+		t.Fatal("augmentation should add variations for a paraphrasable pair")
+	}
+}
+
+func TestAugmentSQLUnchanged(t *testing.T) {
+	a := New(ageSchema(), DefaultParams(), 1)
+	for _, p := range a.Augment([]generator.Pair{pairGT()}) {
+		if p.SQL != pairGT().SQL {
+			t.Fatalf("augmentation must never change the SQL side: %q", p.SQL)
+		}
+	}
+}
+
+func TestParaphraseUsesPPDB(t *testing.T) {
+	p := Params{SizePara: 1, NumPara: 3}
+	a := New(ageSchema(), p, 1)
+	out := a.Augment([]generator.Pair{{
+		NL:  "show the name of patients",
+		SQL: "SELECT name FROM patients",
+	}})
+	// "show" has high-quality PPDB paraphrases (display, list, ...).
+	found := false
+	for _, pr := range out[1:] {
+		first := strings.Fields(pr.NL)[0]
+		if first != "show" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no paraphrased variant produced: %v", out)
+	}
+}
+
+func TestParaphraseDisabled(t *testing.T) {
+	p := Params{SizePara: 0, NumPara: 0, NumMissing: 0, RandDropP: 0}
+	a := New(ageSchema(), p, 1)
+	out := a.Augment([]generator.Pair{pairGT()})
+	// Only the comparative substitution may add pairs when
+	// paraphrasing and dropout are off.
+	for _, pr := range out[1:] {
+		if !strings.Contains(pr.NL, "older") && !strings.Contains(pr.NL, "age of") && !strings.Contains(pr.NL, "aged over") {
+			t.Fatalf("unexpected augmentation with paraphrase/dropout off: %q", pr.NL)
+		}
+	}
+}
+
+func TestDropoutPreservesPlaceholders(t *testing.T) {
+	p := Params{NumMissing: 3, RandDropP: 1.0}
+	a := New(ageSchema(), p, 7)
+	out := a.Augment([]generator.Pair{pairGT()})
+	if len(out) < 2 {
+		t.Fatal("dropout produced nothing at randDropP=1")
+	}
+	for _, pr := range out[1:] {
+		if !strings.Contains(pr.NL, "@PATIENTS.AGE") {
+			t.Fatalf("dropout removed a placeholder: %q", pr.NL)
+		}
+		if len(strings.Fields(pr.NL)) >= len(strings.Fields(pairGT().NL)) && pr.NL != pairGT().NL &&
+			!strings.Contains(pr.NL, "older") && !strings.Contains(pr.NL, "age of") && !strings.Contains(pr.NL, "aged") {
+			t.Fatalf("dropout variant not shorter: %q", pr.NL)
+		}
+	}
+}
+
+func TestDropoutProbabilityZero(t *testing.T) {
+	p := Params{NumMissing: 3, RandDropP: 0}
+	a := New(ageSchema(), p, 7)
+	out := a.Augment([]generator.Pair{pairGT()})
+	for _, pr := range out[1:] {
+		if len(strings.Fields(pr.NL)) < len(strings.Fields(pairGT().NL)) {
+			// a shorter NL implies a dropout variant leaked through
+			t.Fatalf("dropout applied despite randDropP=0: %q", pr.NL)
+		}
+	}
+}
+
+func TestComparativeSubstitution(t *testing.T) {
+	p := Params{} // isolate the comparative step
+	a := New(ageSchema(), p, 3)
+	out := a.Augment([]generator.Pair{pairGT()})
+	found := false
+	for _, pr := range out {
+		if strings.Contains(pr.NL, "older than") || strings.Contains(pr.NL, "above the age of") || strings.Contains(pr.NL, "aged over") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("age-domain comparison should gain an 'older than' variant: %v", out)
+	}
+}
+
+func TestComparativeNeedsDomain(t *testing.T) {
+	s := ageSchema()
+	s.Tables[0].Columns[2].Domain = schema.DomainNone
+	a := New(s, Params{}, 3)
+	out := a.Augment([]generator.Pair{pairGT()})
+	if len(out) != 1 {
+		t.Fatalf("no augmentation expected without a domain annotation: %v", out)
+	}
+}
+
+func TestAugmentDeterminism(t *testing.T) {
+	in := []generator.Pair{pairGT(), {
+		NL:  "show the name of patients",
+		SQL: "SELECT name FROM patients",
+	}}
+	a := New(ageSchema(), DefaultParams(), 11).Augment(in)
+	b := New(ageSchema(), DefaultParams(), 11).Augment(in)
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pair %d differs", i)
+		}
+	}
+}
+
+func TestAugmentDedup(t *testing.T) {
+	in := []generator.Pair{pairGT(), pairGT()}
+	out := New(ageSchema(), DefaultParams(), 11).Augment(in)
+	seen := map[string]bool{}
+	for _, pr := range out {
+		key := pr.NL + "|" + pr.SQL
+		if seen[key] {
+			t.Fatalf("duplicate pair survived: %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestNumParaBoundsVariants(t *testing.T) {
+	count := func(numPara int) int {
+		p := Params{SizePara: 2, NumPara: numPara}
+		return len(New(ageSchema(), p, 5).Augment([]generator.Pair{pairGT()}))
+	}
+	if count(1) > count(6) {
+		t.Fatalf("larger numPara should not shrink the corpus: %d vs %d", count(1), count(6))
+	}
+}
+
+func TestPlaceholderSubphrasesNeverParaphrased(t *testing.T) {
+	p := Params{SizePara: 3, NumPara: 6}
+	out := New(ageSchema(), p, 5).Augment([]generator.Pair{pairGT()})
+	for _, pr := range out {
+		n := 0
+		for _, tok := range strings.Fields(pr.NL) {
+			if tokens.IsPlaceholder(tok) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("placeholder count changed in %q", pr.NL)
+		}
+	}
+}

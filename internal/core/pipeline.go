@@ -1,0 +1,116 @@
+// Package core implements the DBPal training pipeline — the paper's
+// primary contribution. Given only a database schema (plus the
+// reusable seed templates and slot-fill lexicons), it synthesizes a
+// training corpus of NL–SQL pairs in three steps:
+//
+//  1. Generator: balanced template instantiation (internal/generator),
+//  2. Augmentation: automatic paraphrasing, word dropout, and
+//     domain-aware comparatives (internal/augment),
+//  3. Lemmatizer: normalization of word forms (internal/lemma).
+//
+// The pipeline is deterministic given its seed, and fully pluggable:
+// the produced pairs feed any Translator implementation (see
+// internal/models).
+package core
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/augment"
+	"repro/internal/generator"
+	"repro/internal/lemma"
+	"repro/internal/schema"
+	"repro/internal/templates"
+	"repro/internal/tokens"
+)
+
+// Pair is one training example as emitted by the pipeline.
+type Pair = generator.Pair
+
+// Params collects every tunable knob of the data-generation procedure
+// (the paper's Table 1): instantiation parameters and augmentation
+// parameters. These are the hyperparameters the optimization procedure
+// (internal/hyperopt) searches over.
+type Params struct {
+	Instantiation generator.Params
+	Augmentation  augment.Params
+	// Lemmatize controls the final normalization step (on by default;
+	// exposed for the ablation benchmark).
+	Lemmatize bool
+}
+
+// DefaultParams returns the shipped defaults, empirically determined
+// to perform well across schemas (paper §3.2.1).
+func DefaultParams() Params {
+	return Params{
+		Instantiation: generator.DefaultParams(),
+		Augmentation:  augment.DefaultParams(),
+		Lemmatize:     true,
+	}
+}
+
+// Pipeline is a configured DBPal training-data pipeline for one
+// schema.
+type Pipeline struct {
+	Schema *schema.Schema
+	Params Params
+	Seed   int64
+	// Templates restricts the seed library when non-nil (used by the
+	// Figure-3 seed-template-fraction experiment).
+	Templates []templates.Template
+}
+
+// New returns a pipeline with the given parameters.
+func New(s *schema.Schema, p Params, seed int64) *Pipeline {
+	return &Pipeline{Schema: s, Params: p, Seed: seed}
+}
+
+// Run executes generate -> augment -> lemmatize and returns the
+// training pairs.
+func (p *Pipeline) Run() []Pair {
+	var g *generator.Generator
+	if p.Templates != nil {
+		g = generator.NewWithTemplates(p.Schema, p.Params.Instantiation, p.Seed, p.Templates)
+	} else {
+		g = generator.New(p.Schema, p.Params.Instantiation, p.Seed)
+	}
+	pairs := g.Generate()
+	a := augment.New(p.Schema, p.Params.Augmentation, p.Seed+1)
+	pairs = a.Augment(pairs)
+	if p.Params.Lemmatize {
+		for i := range pairs {
+			pairs[i].NL = LemmatizeNL(pairs[i].NL)
+		}
+	}
+	return pairs
+}
+
+// LemmatizeNL tokenizes and lemmatizes an NL string the same way for
+// training data and runtime input (paper §2.2.3 / §4.1).
+func LemmatizeNL(nl string) string {
+	toks := tokens.Tokenize(nl)
+	toks = lemma.LemmatizeAll(toks)
+	return strings.Join(toks, " ")
+}
+
+// TemplateFraction returns a deterministic random subset containing
+// the given fraction of the seed templates (selected before
+// instantiation, as in the paper's Figure-3 experiment).
+func TemplateFraction(fraction float64, seed int64) []templates.Template {
+	all := templates.All()
+	if fraction >= 1 {
+		return all
+	}
+	n := int(fraction*float64(len(all)) + 0.5)
+	if n <= 0 {
+		return []templates.Template{}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(all))[:n]
+	out := make([]templates.Template, 0, n)
+	for _, i := range idx {
+		out = append(out, all[i])
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/schema"
+)
+
+// Value pools for recognizable column names so that generated databases
+// contain plausible constants for the Parameter Handler's value index.
+var (
+	personNames = []string{
+		"alice johnson", "bob smith", "carol davis", "david miller", "emma wilson",
+		"frank moore", "grace taylor", "henry anderson", "irene thomas", "jack jackson",
+		"karen white", "liam harris", "mia martin", "noah thompson", "olivia garcia",
+		"peter martinez", "quinn robinson", "rachel clark", "sam rodriguez", "tina lewis",
+	}
+	cityNames = []string{
+		"springfield", "riverton", "lakeside", "fairview", "greenville",
+		"bristol", "clinton", "georgetown", "salem", "madison",
+		"franklin", "arlington", "ashland", "burlington", "clayton",
+	}
+	stateNames = []string{
+		"massachusetts", "california", "texas", "alaska", "vermont",
+		"oregon", "nevada", "ohio", "georgia", "maine", "utah", "iowa",
+	}
+	diseaseNames = []string{
+		"influenza", "diabetes", "asthma", "pneumonia", "bronchitis",
+		"hypertension", "arthritis", "migraine", "anemia", "eczema",
+	}
+	genericAdjectives = []string{
+		"red", "blue", "green", "silver", "golden", "rapid", "quiet",
+		"northern", "southern", "eastern", "western", "central",
+	}
+)
+
+// poolFor picks a plausible string pool for a text column by name.
+func poolFor(col string) []string {
+	c := strings.ToLower(col)
+	switch {
+	case strings.Contains(c, "state"):
+		return stateNames
+	case strings.Contains(c, "city"):
+		return cityNames
+	case strings.Contains(c, "disease") || strings.Contains(c, "diagnos"):
+		return diseaseNames
+	case strings.Contains(c, "name"):
+		return personNames
+	default:
+		return nil
+	}
+}
+
+// numberRange picks a plausible numeric range for a column by domain
+// and name.
+func numberRange(col *schema.Column) (lo, hi float64, integral bool) {
+	name := strings.ToLower(col.Name)
+	switch {
+	case col.Domain == schema.DomainAge || strings.Contains(name, "age"):
+		return 1, 99, true
+	case col.Domain == schema.DomainHeight || strings.Contains(name, "height"):
+		return 100, 9000, true
+	case col.Domain == schema.DomainLength || strings.Contains(name, "length") || strings.Contains(name, "stay"):
+		return 1, 60, true
+	case col.Domain == schema.DomainArea || strings.Contains(name, "area"):
+		return 10, 700000, true
+	case col.Domain == schema.DomainMoney || strings.Contains(name, "salary") || strings.Contains(name, "price") || strings.Contains(name, "cost") || strings.Contains(name, "budget"):
+		return 100, 100000, true
+	case strings.Contains(name, "population"):
+		return 500, 5000000, true
+	case strings.Contains(name, "year"):
+		return 1950, 2020, true
+	default:
+		return 1, 1000, true
+	}
+}
+
+// GenerateData fills a new database for the schema with rowsPerTable
+// synthetic rows per table, deterministically from seed. Primary keys
+// get unique sequential values; foreign keys reference existing keys of
+// the target table (tables are filled in dependency order). Text
+// columns draw from plausible value pools keyed by column name;
+// numeric columns draw from domain-appropriate ranges.
+func GenerateData(s *schema.Schema, rowsPerTable int, seed int64) (*Database, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := NewDatabase(s)
+
+	// Order tables so that FK targets are filled first.
+	order := dependencyOrder(s)
+
+	// Remember generated key pools: table -> column -> values.
+	keyPools := map[string]map[string][]Value{}
+
+	for _, t := range order {
+		pool := map[string][]Value{}
+		keyPools[strings.ToLower(t.Name)] = pool
+		fkFor := map[string]schema.ForeignKey{}
+		for _, fk := range s.ForeignKeys {
+			if strings.EqualFold(fk.FromTable, t.Name) {
+				fkFor[strings.ToLower(fk.FromColumn)] = fk
+			}
+		}
+		for i := 0; i < rowsPerTable; i++ {
+			row := make(Row, len(t.Columns))
+			for ci, col := range t.Columns {
+				if fk, ok := fkFor[strings.ToLower(col.Name)]; ok {
+					targets := keyPools[strings.ToLower(fk.ToTable)][strings.ToLower(fk.ToColumn)]
+					if len(targets) > 0 {
+						row[ci] = targets[rng.Intn(len(targets))]
+						continue
+					}
+				}
+				if col.PrimaryKey && col.Type == schema.Number {
+					row[ci] = Num(float64(i + 1))
+				} else if col.PrimaryKey {
+					row[ci] = Str(fmt.Sprintf("%s_%d", strings.ToLower(col.Name), i+1))
+				} else if col.Type == schema.Text {
+					row[ci] = genText(col, i, rng)
+				} else {
+					lo, hi, integral := numberRange(col)
+					v := lo + rng.Float64()*(hi-lo)
+					if integral {
+						v = float64(int64(v))
+					}
+					row[ci] = Num(v)
+				}
+				pool[strings.ToLower(col.Name)] = append(pool[strings.ToLower(col.Name)], row[ci])
+			}
+			if err := db.Insert(t.Name, row); err != nil {
+				return nil, err
+			}
+		}
+		// Record key pools for PK columns even if also recorded above.
+		tbl := db.Tables[strings.ToLower(t.Name)]
+		for ci, col := range t.Columns {
+			if col.PrimaryKey {
+				var vals []Value
+				for _, r := range tbl.Rows {
+					vals = append(vals, r[ci])
+				}
+				pool[strings.ToLower(col.Name)] = vals
+			}
+		}
+	}
+	return db, nil
+}
+
+// genText produces a plausible text value for the column.
+func genText(col *schema.Column, i int, rng *rand.Rand) Value {
+	if pool := poolFor(col.Name); pool != nil {
+		return Str(pool[rng.Intn(len(pool))])
+	}
+	adj := genericAdjectives[rng.Intn(len(genericAdjectives))]
+	return Str(fmt.Sprintf("%s %s %d", adj, strings.ToLower(strings.ReplaceAll(col.Name, "_", " ")), i%7+1))
+}
+
+// dependencyOrder returns tables sorted so FK targets precede sources
+// (cycles broken by declaration order).
+func dependencyOrder(s *schema.Schema) []*schema.Table {
+	deps := map[string]map[string]bool{}
+	for _, fk := range s.ForeignKeys {
+		from := strings.ToLower(fk.FromTable)
+		to := strings.ToLower(fk.ToTable)
+		if from == to {
+			continue
+		}
+		if deps[from] == nil {
+			deps[from] = map[string]bool{}
+		}
+		deps[from][to] = true
+	}
+	var order []*schema.Table
+	placed := map[string]bool{}
+	for len(order) < len(s.Tables) {
+		progressed := false
+		for _, t := range s.Tables {
+			lt := strings.ToLower(t.Name)
+			if placed[lt] {
+				continue
+			}
+			ready := true
+			for dep := range deps[lt] {
+				if !placed[dep] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				order = append(order, t)
+				placed[lt] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Cycle: place remaining in declaration order.
+			for _, t := range s.Tables {
+				if !placed[strings.ToLower(t.Name)] {
+					order = append(order, t)
+					placed[strings.ToLower(t.Name)] = true
+				}
+			}
+		}
+	}
+	return order
+}
+
+// DistinctValues returns the distinct values of a column in the
+// database, for the Parameter Handler's value index.
+func (db *Database) DistinctValues(table, column string) []Value {
+	t, ok := db.Tables[strings.ToLower(table)]
+	if !ok {
+		return nil
+	}
+	ci := t.colIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []Value
+	for _, r := range t.Rows {
+		k := r[ci].String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r[ci])
+		}
+	}
+	return out
+}

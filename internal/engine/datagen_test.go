@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/schema"
+)
+
+func zooSchema() *schema.Schema {
+	return &schema.Schema{
+		Name: "zoo",
+		Tables: []*schema.Table{
+			{Name: "keepers", Columns: []*schema.Column{
+				{Name: "id", Type: schema.Number, PrimaryKey: true},
+				{Name: "name", Type: schema.Text},
+				{Name: "salary", Type: schema.Number, Domain: schema.DomainMoney},
+			}},
+			{Name: "animals", Columns: []*schema.Column{
+				{Name: "id", Type: schema.Number, PrimaryKey: true},
+				{Name: "species", Type: schema.Text},
+				{Name: "age", Type: schema.Number, Domain: schema.DomainAge},
+				{Name: "keeper_id", Type: schema.Number},
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "animals", FromColumn: "keeper_id", ToTable: "keepers", ToColumn: "id"},
+		},
+	}
+}
+
+func TestGenerateDataShape(t *testing.T) {
+	db, err := GenerateData(zooSchema(), 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"keepers", "animals"} {
+		tbl := db.Tables[name]
+		if tbl == nil || len(tbl.Rows) != 25 {
+			t.Fatalf("table %s rows = %v", name, tbl)
+		}
+	}
+}
+
+func TestGenerateDataForeignKeys(t *testing.T) {
+	db, err := GenerateData(zooSchema(), 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keepers := map[string]bool{}
+	for _, v := range db.DistinctValues("keepers", "id") {
+		keepers[v.String()] = true
+	}
+	for _, r := range db.Tables["animals"].Rows {
+		fk := r[3]
+		if !keepers[fk.String()] {
+			t.Fatalf("animal references missing keeper %v", fk)
+		}
+	}
+}
+
+func TestGenerateDataPrimaryKeysUnique(t *testing.T) {
+	db, err := GenerateData(zooSchema(), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range db.Tables["keepers"].Rows {
+		k := r[0].String()
+		if seen[k] {
+			t.Fatalf("duplicate primary key %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestGenerateDataDomainRanges(t *testing.T) {
+	db, err := GenerateData(zooSchema(), 50, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range db.Tables["animals"].Rows {
+		age := r[2].Num
+		if age < 1 || age > 99 {
+			t.Fatalf("age %v out of domain range", age)
+		}
+	}
+	for _, r := range db.Tables["keepers"].Rows {
+		sal := r[2].Num
+		if sal < 100 || sal > 100000 {
+			t.Fatalf("salary %v out of money range", sal)
+		}
+	}
+}
+
+func TestGenerateDataDeterminism(t *testing.T) {
+	a, err := GenerateData(zooSchema(), 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateData(zooSchema(), 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ta := range a.Tables {
+		tb := b.Tables[name]
+		for i := range ta.Rows {
+			for j := range ta.Rows[i] {
+				if !ta.Rows[i][j].Equal(tb.Rows[i][j]) {
+					t.Fatalf("nondeterministic cell %s[%d][%d]", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDataPlausibleText(t *testing.T) {
+	s := &schema.Schema{
+		Name: "places",
+		Tables: []*schema.Table{
+			{Name: "cities", Columns: []*schema.Column{
+				{Name: "id", Type: schema.Number, PrimaryKey: true},
+				{Name: "state_name", Type: schema.Text},
+			}},
+		},
+	}
+	db, err := GenerateData(s, 30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := db.DistinctValues("cities", "state_name")
+	if len(vals) == 0 {
+		t.Fatal("no distinct state values")
+	}
+	for _, v := range vals {
+		if strings.Contains(v.Str, "_") {
+			t.Fatalf("state value %q looks synthetic, expected a state pool value", v.Str)
+		}
+	}
+}
+
+func TestGenerateDataInvalidSchema(t *testing.T) {
+	bad := zooSchema()
+	bad.Tables[0].Columns = nil
+	if _, err := GenerateData(bad, 5, 1); err == nil {
+		t.Fatal("invalid schema should be rejected")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	db := testDB(t)
+	vals := db.DistinctValues("patients", "diagnosis")
+	if len(vals) != 3 {
+		t.Fatalf("distinct diagnoses = %v", vals)
+	}
+	if db.DistinctValues("nope", "x") != nil {
+		t.Fatal("unknown table should yield nil")
+	}
+	if db.DistinctValues("patients", "nope") != nil {
+		t.Fatal("unknown column should yield nil")
+	}
+}

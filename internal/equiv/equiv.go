@@ -1,0 +1,230 @@
+// Package equiv is a bounded semantic-equivalence checker for the SQL
+// subset, standing in for the Cosette prover the paper points to for
+// scaling the Patients benchmark beyond manually enumerated equivalent
+// answers (§6.2: "if the benchmark were to be extended, one could use
+// an equivalence checker (e.g., Cosette)").
+//
+// Instead of a symbolic proof, the checker searches for a
+// counterexample: the two queries are executed over many randomized
+// small database instances of the schema; any instance on which their
+// results differ disproves equivalence, and surviving all instances is
+// reported as "equivalent up to the test bound". This is the classic
+// testing approximation of query equivalence — sound for rejection,
+// probabilistic for acceptance — which is exactly what benchmark
+// scoring needs.
+package equiv
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Verdict is the outcome of an equivalence check.
+type Verdict int
+
+const (
+	// NotEquivalent means a counterexample database was found.
+	NotEquivalent Verdict = iota
+	// LikelyEquivalent means no counterexample was found within the
+	// test bound.
+	LikelyEquivalent
+	// Invalid means at least one query failed to execute on every
+	// tested instance (unknown columns, correlated subquery, ...).
+	Invalid
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case NotEquivalent:
+		return "not equivalent"
+	case LikelyEquivalent:
+		return "likely equivalent"
+	default:
+		return "invalid"
+	}
+}
+
+// Config bounds the counterexample search.
+type Config struct {
+	// Instances is the number of randomized databases to try.
+	Instances int
+	// RowsPerTable sizes each instance. Small tables make collisions
+	// (equal values, empty groups, ties) likely, which is what
+	// separates near-equivalent queries.
+	RowsPerTable int
+	// ValuePoolSize bounds the distinct values per column so that
+	// predicates hit and miss with useful frequency.
+	ValuePoolSize int
+	// Seed makes the search deterministic.
+	Seed int64
+}
+
+// DefaultConfig is a practical bound: 24 instances of 6 rows each.
+func DefaultConfig() Config {
+	return Config{Instances: 24, RowsPerTable: 6, ValuePoolSize: 4, Seed: 1}
+}
+
+// Counterexample describes a distinguishing instance.
+type Counterexample struct {
+	Instance int
+	ResultA  *engine.Result
+	ResultB  *engine.Result
+}
+
+// Checker tests query equivalence over one schema.
+type Checker struct {
+	Schema *schema.Schema
+	Config Config
+}
+
+// New returns a checker with the given bounds.
+func New(s *schema.Schema, cfg Config) *Checker {
+	return &Checker{Schema: s, Config: cfg}
+}
+
+// Check searches for a counterexample distinguishing a and b. The
+// returned counterexample is nil unless the verdict is NotEquivalent.
+func (c *Checker) Check(a, b *sqlast.Query) (Verdict, *Counterexample, error) {
+	if a == nil || b == nil {
+		return Invalid, nil, fmt.Errorf("equiv: nil query")
+	}
+	executedOnce := false
+	for i := 0; i < c.Config.Instances; i++ {
+		db, err := c.randomInstance(c.Config.Seed + int64(i)*977)
+		if err != nil {
+			return Invalid, nil, err
+		}
+		ra, errA := db.Execute(a)
+		rb, errB := db.Execute(b)
+		if errA != nil && errB != nil {
+			continue // both invalid on this instance
+		}
+		if (errA == nil) != (errB == nil) {
+			// One executes, the other errors: distinguishable.
+			return NotEquivalent, &Counterexample{Instance: i, ResultA: ra, ResultB: rb}, nil
+		}
+		executedOnce = true
+		if !engine.EqualResults(ra, rb) {
+			return NotEquivalent, &Counterexample{Instance: i, ResultA: ra, ResultB: rb}, nil
+		}
+	}
+	if !executedOnce {
+		return Invalid, nil, nil
+	}
+	return LikelyEquivalent, nil, nil
+}
+
+// randomInstance builds one randomized database: small tables, small
+// value pools, foreign keys honored, including empty-table and
+// duplicate-value edge cases.
+func (c *Checker) randomInstance(seed int64) (*engine.Database, error) {
+	rng := rand.New(rand.NewSource(seed))
+	db := engine.NewDatabase(c.Schema)
+
+	// Key pools per table for FK wiring.
+	keyPool := map[string][]engine.Value{}
+	fkFor := func(t *schema.Table, col *schema.Column) (schema.ForeignKey, bool) {
+		for _, fk := range c.Schema.ForeignKeys {
+			if equalFold(fk.FromTable, t.Name) && equalFold(fk.FromColumn, col.Name) {
+				return fk, true
+			}
+		}
+		return schema.ForeignKey{}, false
+	}
+
+	for _, t := range orderTables(c.Schema) {
+		rows := c.Config.RowsPerTable
+		// Occasionally generate an (almost) empty table: aggregates
+		// over empty inputs are classic distinguishers.
+		if rng.Intn(6) == 0 {
+			rows = rng.Intn(2)
+		}
+		var keys []engine.Value
+		for i := 0; i < rows; i++ {
+			row := make(engine.Row, len(t.Columns))
+			for ci, col := range t.Columns {
+				if fk, ok := fkFor(t, col); ok {
+					pool := keyPool[lower(fk.ToTable)]
+					if len(pool) > 0 {
+						row[ci] = pool[rng.Intn(len(pool))]
+						continue
+					}
+				}
+				if col.PrimaryKey {
+					row[ci] = engine.Num(float64(i + 1))
+					keys = append(keys, row[ci])
+					continue
+				}
+				if col.Type == schema.Number {
+					row[ci] = engine.Num(float64(rng.Intn(c.Config.ValuePoolSize * 3)))
+				} else {
+					row[ci] = engine.Str(fmt.Sprintf("v%d", rng.Intn(c.Config.ValuePoolSize)))
+				}
+			}
+			if err := db.Insert(t.Name, row); err != nil {
+				return nil, err
+			}
+		}
+		keyPool[lower(t.Name)] = keys
+	}
+	return db, nil
+}
+
+func orderTables(s *schema.Schema) []*schema.Table {
+	// Parents (FK targets) before children so key pools exist.
+	isChildOf := map[string]map[string]bool{}
+	for _, fk := range s.ForeignKeys {
+		if isChildOf[lower(fk.FromTable)] == nil {
+			isChildOf[lower(fk.FromTable)] = map[string]bool{}
+		}
+		isChildOf[lower(fk.FromTable)][lower(fk.ToTable)] = true
+	}
+	var out []*schema.Table
+	placed := map[string]bool{}
+	for len(out) < len(s.Tables) {
+		progressed := false
+		for _, t := range s.Tables {
+			lt := lower(t.Name)
+			if placed[lt] {
+				continue
+			}
+			ready := true
+			for dep := range isChildOf[lt] {
+				if dep != lt && !placed[dep] {
+					ready = false
+				}
+			}
+			if ready {
+				out = append(out, t)
+				placed[lt] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			for _, t := range s.Tables {
+				if !placed[lower(t.Name)] {
+					out = append(out, t)
+					placed[lower(t.Name)] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func lower(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if 'A' <= c && c <= 'Z' {
+			out[i] = c + 32
+		}
+	}
+	return string(out)
+}
+
+func equalFold(a, b string) bool { return lower(a) == lower(b) }

@@ -1,0 +1,200 @@
+package equiv
+
+import (
+	"testing"
+
+	"repro/internal/patients"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+func checker(t *testing.T) *Checker {
+	t.Helper()
+	return New(patients.Schema(), DefaultConfig())
+}
+
+func verdict(t *testing.T, c *Checker, a, b string) Verdict {
+	t.Helper()
+	v, _, err := c.Check(sqlast.MustParse(a), sqlast.MustParse(b))
+	if err != nil {
+		t.Fatalf("Check(%q, %q): %v", a, b, err)
+	}
+	return v
+}
+
+func TestEquivalentPairs(t *testing.T) {
+	c := checker(t)
+	pairs := [][2]string{
+		// Identical up to formatting/case.
+		{"SELECT name FROM patients WHERE age = 3", "select NAME from PATIENTS where AGE = 3"},
+		// Commuted conjuncts.
+		{
+			"SELECT name FROM patients WHERE age = 3 AND gender = 'v1'",
+			"SELECT name FROM patients WHERE gender = 'v1' AND age = 3",
+		},
+		// x >= k  ===  x > k OR x = k.
+		{
+			"SELECT name FROM patients WHERE age >= 3",
+			"SELECT name FROM patients WHERE age > 3 OR age = 3",
+		},
+		// BETWEEN === two comparisons.
+		{
+			"SELECT name FROM patients WHERE age BETWEEN 2 AND 5",
+			"SELECT name FROM patients WHERE age >= 2 AND age <= 5",
+		},
+		// argmax via ORDER/LIMIT differs on ties, but the count of
+		// MAX holders via subquery matches COUNT filtering: use the
+		// genuinely equivalent nested forms instead.
+		{
+			"SELECT MAX(age) FROM patients",
+			"SELECT MAX(age) FROM patients WHERE age >= 0",
+		},
+		// De Morgan.
+		{
+			"SELECT name FROM patients WHERE NOT (age = 3 OR gender = 'v1')",
+			"SELECT name FROM patients WHERE age != 3 AND gender != 'v1'",
+		},
+	}
+	for _, p := range pairs {
+		if v := verdict(t, c, p[0], p[1]); v != LikelyEquivalent {
+			t.Errorf("%q vs %q: %v, want likely equivalent", p[0], p[1], v)
+		}
+	}
+}
+
+func TestNonEquivalentPairs(t *testing.T) {
+	c := checker(t)
+	pairs := [][2]string{
+		{"SELECT name FROM patients WHERE age = 3", "SELECT name FROM patients WHERE age = 4"},
+		{"SELECT name FROM patients WHERE age > 3", "SELECT name FROM patients WHERE age >= 3"},
+		{"SELECT name FROM patients", "SELECT DISTINCT name FROM patients"},
+		{"SELECT COUNT(*) FROM patients", "SELECT COUNT(DISTINCT gender) FROM patients"},
+		{"SELECT AVG(age) FROM patients", "SELECT SUM(age) FROM patients"},
+		{"SELECT name FROM patients WHERE age = 3 AND gender = 'v1'", "SELECT name FROM patients WHERE age = 3 OR gender = 'v1'"},
+		{"SELECT MAX(age) FROM patients", "SELECT MIN(age) FROM patients"},
+		// Ties distinguish argmax-by-limit from the nested form.
+		{
+			"SELECT name FROM patients ORDER BY age DESC LIMIT 1",
+			"SELECT name FROM patients WHERE age = (SELECT MAX(age) FROM patients)",
+		},
+	}
+	for _, p := range pairs {
+		v, cex, err := c.Check(sqlast.MustParse(p[0]), sqlast.MustParse(p[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != NotEquivalent {
+			t.Errorf("%q vs %q: %v, want not equivalent", p[0], p[1], v)
+			continue
+		}
+		if cex == nil {
+			t.Errorf("%q vs %q: missing counterexample", p[0], p[1])
+		}
+	}
+}
+
+func TestInvalidQueries(t *testing.T) {
+	c := checker(t)
+	v, _, err := c.Check(
+		sqlast.MustParse("SELECT nonexistent FROM patients"),
+		sqlast.MustParse("SELECT also_missing FROM patients"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != Invalid {
+		t.Fatalf("two invalid queries should be Invalid, got %v", v)
+	}
+	// One valid, one invalid: distinguishable.
+	v2, _, err := c.Check(
+		sqlast.MustParse("SELECT name FROM patients"),
+		sqlast.MustParse("SELECT nonexistent FROM patients"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != NotEquivalent {
+		t.Fatalf("valid vs invalid should be NotEquivalent, got %v", v2)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	c := checker(t)
+	a := sqlast.MustParse("SELECT name FROM patients WHERE age > 2")
+	b := sqlast.MustParse("SELECT name FROM patients WHERE age > 3")
+	v1, cex1, _ := c.Check(a, b)
+	v2, cex2, _ := c.Check(a, b)
+	if v1 != v2 {
+		t.Fatal("nondeterministic verdict")
+	}
+	if (cex1 == nil) != (cex2 == nil) || (cex1 != nil && cex1.Instance != cex2.Instance) {
+		t.Fatal("nondeterministic counterexample")
+	}
+}
+
+func TestMultiTableSchema(t *testing.T) {
+	s := &schema.Schema{
+		Name: "geo",
+		Tables: []*schema.Table{
+			{Name: "states", Columns: []*schema.Column{
+				{Name: "id", Type: schema.Number, PrimaryKey: true},
+				{Name: "name", Type: schema.Text},
+			}},
+			{Name: "cities", Columns: []*schema.Column{
+				{Name: "id", Type: schema.Number, PrimaryKey: true},
+				{Name: "name", Type: schema.Text},
+				{Name: "pop", Type: schema.Number},
+				{Name: "state_id", Type: schema.Number},
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "cities", FromColumn: "state_id", ToTable: "states", ToColumn: "id"},
+		},
+	}
+	c := New(s, DefaultConfig())
+	// Join order commutes.
+	v := mustVerdict(t, c,
+		"SELECT states.name FROM states, cities WHERE cities.state_id = states.id AND cities.pop > 2",
+		"SELECT states.name FROM cities, states WHERE states.id = cities.state_id AND cities.pop > 2")
+	if v != LikelyEquivalent {
+		t.Fatalf("commuted join = %v", v)
+	}
+	// Dropping the join predicate is not equivalent.
+	v2 := mustVerdict(t, c,
+		"SELECT states.name FROM states, cities WHERE cities.state_id = states.id",
+		"SELECT states.name FROM states, cities")
+	if v2 != NotEquivalent {
+		t.Fatalf("cartesian vs join = %v", v2)
+	}
+}
+
+func mustVerdict(t *testing.T, c *Checker, a, b string) Verdict {
+	t.Helper()
+	v, _, err := c.Check(sqlast.MustParse(a), sqlast.MustParse(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestPatientsAlternativeGolds uses the checker the way the paper
+// suggests: verify that standard semantically equivalent alternates of
+// benchmark gold queries are accepted.
+func TestPatientsAlternativeGolds(t *testing.T) {
+	c := checker(t)
+	alternates := [][2]string{
+		{
+			"SELECT name FROM patients WHERE length_of_stay = (SELECT MIN(length_of_stay) FROM patients)",
+			"SELECT name FROM patients WHERE length_of_stay <= (SELECT MIN(length_of_stay) FROM patients)",
+		},
+		{
+			"SELECT COUNT(*) FROM patients WHERE age > (SELECT AVG(age) FROM patients)",
+			"SELECT COUNT(id) FROM patients WHERE age > (SELECT AVG(age) FROM patients)",
+		},
+	}
+	for _, p := range alternates {
+		if v := mustVerdict(t, c, p[0], p[1]); v != LikelyEquivalent {
+			t.Errorf("alternate gold rejected: %q vs %q = %v", p[0], p[1], v)
+		}
+	}
+}

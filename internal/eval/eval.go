@@ -1,0 +1,236 @@
+// Package eval implements the paper's two accuracy metrics and the
+// breakdowns its tables report:
+//
+//   - exact-match accuracy on canonicalized SQL (the Spider metric,
+//     §6.1: "a query is deemed correctly translated only if it exactly
+//     matches the provided gold standard"), with per-difficulty
+//     grouping for Table 2 and pattern-coverage grouping for Table 4;
+//   - semantic-equivalence accuracy by execution (the Patients metric,
+//     §6.2), with per-category grouping for Table 3.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/lemma"
+	"repro/internal/models"
+	"repro/internal/patients"
+	"repro/internal/runtime"
+	"repro/internal/spider"
+	"repro/internal/sqlast"
+	"repro/internal/tokens"
+)
+
+// Frac is a correct/total accuracy fraction.
+type Frac struct {
+	Correct, Total int
+}
+
+// Add accumulates one trial.
+func (f *Frac) Add(ok bool) {
+	f.Total++
+	if ok {
+		f.Correct++
+	}
+}
+
+// Acc returns the accuracy in [0,1] (0 for empty).
+func (f Frac) Acc() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Correct) / float64(f.Total)
+}
+
+// String renders like "0.445 (89/200)".
+func (f Frac) String() string {
+	return fmt.Sprintf("%.3f (%d/%d)", f.Acc(), f.Correct, f.Total)
+}
+
+// SpiderResult is the outcome of evaluating one question.
+type SpiderResult struct {
+	Question   spider.Question
+	Pred       string
+	Correct    bool
+	Difficulty sqlast.Difficulty
+	Pattern    string
+}
+
+// SpiderReport aggregates a Spider-style evaluation.
+type SpiderReport struct {
+	ByDifficulty map[sqlast.Difficulty]*Frac
+	Overall      Frac
+	Results      []SpiderResult
+}
+
+// EvalSpider runs the translator over pre-anonymized questions and
+// scores canonicalized exact match, as in the paper's Spider setup.
+func EvalSpider(tr models.Translator, qs []spider.Question) *SpiderReport {
+	rep := &SpiderReport{ByDifficulty: map[sqlast.Difficulty]*Frac{}}
+	for _, d := range sqlast.Difficulties {
+		rep.ByDifficulty[d] = &Frac{}
+	}
+	schemaToks := map[string][]string{}
+	for _, q := range qs {
+		st, ok := schemaToks[q.Schema]
+		if !ok {
+			st = models.SchemaTokens(spider.SchemaByName(q.Schema))
+			schemaToks[q.Schema] = st
+		}
+		nl := lemma.LemmatizeAll(tokens.Tokenize(q.NL))
+		predToks := tr.Translate(nl, st)
+		gold := sqlast.MustParse(q.SQL)
+		correct := false
+		var predStr string
+		if pred, err := sqlast.ParseTokens(predToks); err == nil {
+			predStr = pred.String()
+			correct = sqlast.EqualCanonical(pred, gold)
+		} else {
+			predStr = strings.Join(predToks, " ")
+		}
+		rep.Overall.Add(correct)
+		rep.ByDifficulty[q.Difficulty].Add(correct)
+		rep.Results = append(rep.Results, SpiderResult{
+			Question:   q,
+			Pred:       predStr,
+			Correct:    correct,
+			Difficulty: q.Difficulty,
+			Pattern:    gold.Pattern(),
+		})
+	}
+	return rep
+}
+
+// CoverageBucket classifies a test query's pattern by which training
+// corpus covered it (the paper's Table 4).
+type CoverageBucket int
+
+// Coverage buckets.
+const (
+	CoverBoth CoverageBucket = iota
+	CoverDBPal
+	CoverSpider
+	CoverUnseen
+)
+
+// String names the bucket as the paper's Table 4 spells it.
+func (b CoverageBucket) String() string {
+	switch b {
+	case CoverBoth:
+		return "Both"
+	case CoverDBPal:
+		return "DBPal"
+	case CoverSpider:
+		return "Spider"
+	default:
+		return "Unseen"
+	}
+}
+
+// CoverageBuckets lists the buckets in reporting order.
+var CoverageBuckets = []CoverageBucket{CoverBoth, CoverDBPal, CoverSpider, CoverUnseen}
+
+// Classify places a pattern into its coverage bucket given the pattern
+// sets of the Spider training data and the DBPal-generated data.
+func Classify(pattern string, spiderPatterns, dbpalPatterns map[string]bool) CoverageBucket {
+	inS := spiderPatterns[pattern]
+	inD := dbpalPatterns[pattern]
+	switch {
+	case inS && inD:
+		return CoverBoth
+	case inD:
+		return CoverDBPal
+	case inS:
+		return CoverSpider
+	default:
+		return CoverUnseen
+	}
+}
+
+// CoverageReport groups a SpiderReport's results by coverage bucket.
+func CoverageReport(rep *SpiderReport, spiderPatterns, dbpalPatterns map[string]bool) map[CoverageBucket]*Frac {
+	out := map[CoverageBucket]*Frac{}
+	for _, b := range CoverageBuckets {
+		out[b] = &Frac{}
+	}
+	for _, r := range rep.Results {
+		out[Classify(r.Pattern, spiderPatterns, dbpalPatterns)].Add(r.Correct)
+	}
+	return out
+}
+
+// PatternsOfPairs returns the pattern set of generated training pairs.
+func PatternsOfPairs(sqls []string) map[string]bool {
+	out := map[string]bool{}
+	for _, s := range sqls {
+		q, err := sqlast.Parse(s)
+		if err != nil {
+			continue
+		}
+		out[q.Pattern()] = true
+	}
+	return out
+}
+
+// PatientsReport aggregates the Patients benchmark evaluation.
+type PatientsReport struct {
+	ByCategory map[patients.Category]*Frac
+	Overall    Frac
+	Failures   []PatientsFailure
+}
+
+// PatientsFailure records one miss for diagnostics.
+type PatientsFailure struct {
+	Case patients.Case
+	Pred string
+	Err  string
+}
+
+// EvalPatients runs the full runtime (Parameter Handler, lemmatizer,
+// model, post-processor) on every benchmark case and scores semantic
+// equivalence: the prediction is correct when it executes to the same
+// result as the gold query on the benchmark database.
+func EvalPatients(tr models.Translator, db *engine.Database, cases []patients.Case) *PatientsReport {
+	return EvalPatientsGuided(tr, db, cases, 1)
+}
+
+// EvalPatientsGuided is EvalPatients with execution-guided decoding:
+// the runtime tries up to execGuided ranked candidates per question.
+func EvalPatientsGuided(tr models.Translator, db *engine.Database, cases []patients.Case, execGuided int) *PatientsReport {
+	rep := &PatientsReport{ByCategory: map[patients.Category]*Frac{}}
+	for _, c := range patients.Categories {
+		rep.ByCategory[c] = &Frac{}
+	}
+	rt := runtime.NewTranslator(db, tr)
+	rt.ExecutionGuided = execGuided
+	for _, cs := range cases {
+		gold := sqlast.MustParse(cs.SQL)
+		goldRes, err := db.Execute(gold)
+		if err != nil {
+			panic(fmt.Sprintf("eval: gold query %q does not execute: %v", cs.SQL, err))
+		}
+		correct := false
+		predStr := ""
+		errStr := ""
+		pred, err := rt.Translate(cs.NL)
+		if err == nil {
+			predStr = pred.String()
+			predRes, execErr := db.Execute(pred)
+			if execErr == nil {
+				correct = engine.EqualResults(goldRes, predRes)
+			} else {
+				errStr = execErr.Error()
+			}
+		} else {
+			errStr = err.Error()
+		}
+		rep.Overall.Add(correct)
+		rep.ByCategory[cs.Category].Add(correct)
+		if !correct {
+			rep.Failures = append(rep.Failures, PatientsFailure{Case: cs, Pred: predStr, Err: errStr})
+		}
+	}
+	return rep
+}

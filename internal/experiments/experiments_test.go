@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+	"repro/internal/patients"
+	"repro/internal/spider"
+	"repro/internal/sqlast"
+)
+
+// The experiment tests run at QuickScale (roughly 15-20 seconds per
+// experiment on one core) and are skipped entirely in -short mode.
+
+func TestRunSpiderQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test skipped in -short mode")
+	}
+	e := RunSpider(QuickScale())
+	t.Logf("\n%s\n%s", e.Table2(), e.Table4())
+
+	base := e.Reports[Baseline].Overall.Acc()
+	full := e.Reports[DBPalFull].Overall.Acc()
+	if full <= base {
+		t.Errorf("DBPal (Full) [%.3f] must beat the baseline [%.3f] (the paper's headline result)", full, base)
+	}
+	for _, cfg := range Configs {
+		rep := e.Reports[cfg]
+		if rep.Overall.Total != len(e.Dataset.Test) {
+			t.Fatalf("config %s evaluated %d of %d questions", cfg, rep.Overall.Total, len(e.Dataset.Test))
+		}
+	}
+	// Table rendering sanity.
+	if !strings.Contains(e.Table2(), "DBPal (Full)") || !strings.Contains(e.Table4(), "Unseen") {
+		t.Fatal("table rendering incomplete")
+	}
+}
+
+func TestRunPatientsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test skipped in -short mode")
+	}
+	e := RunPatients(QuickScale())
+	t.Logf("\n%s", e.Table3())
+
+	base := e.Reports[Baseline].Overall.Acc()
+	train := e.Reports[DBPalTrain].Overall.Acc()
+	full := e.Reports[DBPalFull].Overall.Acc()
+	if !(base < train && train < full) {
+		t.Errorf("expected baseline < DBPal(Train) < DBPal(Full), got %.3f / %.3f / %.3f", base, train, full)
+	}
+	// The naive category should be the easiest for DBPal (Full), as in
+	// the paper (0.947 naive vs 0.531 overall).
+	fullRep := e.Reports[DBPalFull]
+	if fullRep.ByCategory[patients.Naive].Acc() < fullRep.Overall.Acc() {
+		t.Errorf("naive category [%.3f] should be above overall [%.3f]",
+			fullRep.ByCategory[patients.Naive].Acc(), fullRep.Overall.Acc())
+	}
+}
+
+func TestRunFigure3Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test skipped in -short mode")
+	}
+	r := RunFigure3(QuickScale())
+	t.Logf("\n%s", r.Format())
+	if len(r.Accuracy) != len(Figure3Fractions) {
+		t.Fatalf("series length = %d", len(r.Accuracy))
+	}
+	// 0% of templates must be the worst point; 100% is normalized 1.0.
+	if r.Accuracy[0] >= r.Accuracy[len(r.Accuracy)-1] {
+		t.Errorf("0%% templates [%.3f] should underperform 100%% [%.3f]", r.Accuracy[0], r.Accuracy[len(r.Accuracy)-1])
+	}
+	if r.Normalized[len(r.Normalized)-1] != 1.0 {
+		t.Fatalf("normalization anchor broken: %v", r.Normalized)
+	}
+}
+
+func TestBalanceMixing(t *testing.T) {
+	if len(balance(nil, nil)) != 0 {
+		t.Fatal("empty inputs")
+	}
+	a := make([]models.Example, 10)
+	mixed := balance(a, make([]models.Example, 35))
+	// 10*4 (capped at x4) + 35
+	if len(mixed) != 75 {
+		t.Fatalf("balanced size = %d", len(mixed))
+	}
+	mixed2 := balance(a, make([]models.Example, 12))
+	if len(mixed2) != 10*2+12 {
+		t.Fatalf("balanced size2 = %d", len(mixed2))
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	d := DefaultScale()
+	q := QuickScale()
+	if q.Spider.TrainPerSchema >= d.Spider.TrainPerSchema {
+		t.Fatal("quick scale should be smaller")
+	}
+	if d.ModelKind != "sketch" {
+		t.Fatal("default model is the SyntaxSQLNet stand-in")
+	}
+	if d.HyperoptTrials != 68 {
+		t.Fatalf("default hyperopt trials = %d, want the paper's 68", d.HyperoptTrials)
+	}
+}
+
+func TestSpiderExamplesConversion(t *testing.T) {
+	d := spider.Build(spider.Config{TrainPerSchema: 15, TestPerSchema: 5, Seed: 2}).Train
+	exs := spiderExamples(d)
+	if len(exs) != len(d) {
+		t.Fatalf("converted %d of %d", len(exs), len(d))
+	}
+	for _, ex := range exs {
+		if len(ex.NL) == 0 || len(ex.SQL) == 0 || len(ex.Schema) == 0 {
+			t.Fatalf("incomplete example %+v", ex)
+		}
+		if ex.SQL[0] != "SELECT" {
+			t.Fatalf("SQL tokens not normalized: %v", ex.SQL)
+		}
+		joined := strings.Join(ex.NL, " ")
+		if strings.Contains(joined, "patients ") { // lemmatized
+			t.Fatalf("NL not lemmatized: %q", joined)
+		}
+	}
+	_ = sqlast.Easy
+}

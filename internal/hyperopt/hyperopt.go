@@ -1,0 +1,263 @@
+// Package hyperopt implements the paper's optimization procedure
+// (§3.3): automatic tuning of the data-generation hyperparameters
+// (Table 1) by random search over the black-box function
+//
+//	Acc = Generate(D, T, φ)
+//
+// where D is the schema (plus sample data), T a test workload of
+// NL–SQL pairs, and φ a candidate parameter set. Each trial runs the
+// entire pipeline — data generation and model training — and returns
+// the trained model's accuracy on T. Random search samples φ uniformly
+// from the parameter space; grid search (the exhaustive alternative
+// the paper compares against conceptually) is also provided.
+package hyperopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/augment"
+	"repro/internal/core"
+	"repro/internal/generator"
+)
+
+// Space bounds the random search. Ranges are inclusive.
+type Space struct {
+	SizeSlotFills [2]int
+	SizeTables    [2]int
+	GroupByP      [2]float64
+	JoinBoost     [2]float64
+	AggBoost      [2]float64
+	NestBoost     [2]float64
+	SizePara      [2]int
+	NumPara       [2]int
+	NumMissing    [2]int
+	RandDropP     [2]float64
+}
+
+// DefaultSpace covers the plausible operating range of every Table-1
+// parameter.
+func DefaultSpace() Space {
+	return Space{
+		SizeSlotFills: [2]int{2, 16},
+		SizeTables:    [2]int{2, 4},
+		GroupByP:      [2]float64{0, 0.6},
+		JoinBoost:     [2]float64{0.25, 2},
+		AggBoost:      [2]float64{0.25, 2},
+		NestBoost:     [2]float64{0.25, 2},
+		SizePara:      [2]int{0, 3},
+		NumPara:       [2]int{0, 6},
+		NumMissing:    [2]int{0, 4},
+		RandDropP:     [2]float64{0, 0.8},
+	}
+}
+
+// Sample draws one uniformly random parameter set.
+func (s Space) Sample(rng *rand.Rand) core.Params {
+	ri := func(b [2]int) int { return b[0] + rng.Intn(b[1]-b[0]+1) }
+	rf := func(b [2]float64) float64 { return b[0] + rng.Float64()*(b[1]-b[0]) }
+	return core.Params{
+		Instantiation: generator.Params{
+			SizeSlotFills: ri(s.SizeSlotFills),
+			SizeTables:    ri(s.SizeTables),
+			GroupByP:      rf(s.GroupByP),
+			JoinBoost:     rf(s.JoinBoost),
+			AggBoost:      rf(s.AggBoost),
+			NestBoost:     rf(s.NestBoost),
+		},
+		Augmentation: augment.Params{
+			SizePara:   ri(s.SizePara),
+			NumPara:    ri(s.NumPara),
+			NumMissing: ri(s.NumMissing),
+			RandDropP:  rf(s.RandDropP),
+		},
+		Lemmatize: true,
+	}
+}
+
+// Trial is one evaluated parameter set.
+type Trial struct {
+	Params    core.Params
+	Accuracy  float64
+	Converged bool // false when the trial was aborted (budget/failure)
+}
+
+// Objective evaluates one parameter set: the full Generate(D,T,φ)
+// pipeline including model training. Implementations report ok=false
+// when the trial did not converge within its budget.
+type Objective func(p core.Params) (acc float64, ok bool)
+
+// RandomSearch evaluates n uniformly sampled parameter sets and
+// returns all trials, best first among converged ones.
+func RandomSearch(space Space, n int, seed int64, obj Objective) []Trial {
+	rng := rand.New(rand.NewSource(seed))
+	trials := make([]Trial, 0, n)
+	for i := 0; i < n; i++ {
+		p := space.Sample(rng)
+		acc, ok := obj(p)
+		trials = append(trials, Trial{Params: p, Accuracy: acc, Converged: ok})
+	}
+	sort.SliceStable(trials, func(i, j int) bool {
+		if trials[i].Converged != trials[j].Converged {
+			return trials[i].Converged
+		}
+		return trials[i].Accuracy > trials[j].Accuracy
+	})
+	return trials
+}
+
+// GridSearch evaluates the corner/midpoint grid of the space (each
+// parameter at lo, mid, hi would explode combinatorially, so the grid
+// varies one parameter at a time around the space midpoint — the
+// axis-aligned grid used for comparison).
+func GridSearch(space Space, obj Objective) []Trial {
+	mid := space.midpoint()
+	var trials []Trial
+	eval := func(p core.Params) {
+		acc, ok := obj(p)
+		trials = append(trials, Trial{Params: p, Accuracy: acc, Converged: ok})
+	}
+	eval(mid)
+	for axis := 0; axis < 10; axis++ {
+		for _, end := range []int{0, 1} {
+			p := mid
+			space.setAxis(&p, axis, end)
+			eval(p)
+		}
+	}
+	sort.SliceStable(trials, func(i, j int) bool { return trials[i].Accuracy > trials[j].Accuracy })
+	return trials
+}
+
+func (s Space) midpoint() core.Params {
+	mi := func(b [2]int) int { return (b[0] + b[1]) / 2 }
+	mf := func(b [2]float64) float64 { return (b[0] + b[1]) / 2 }
+	return core.Params{
+		Instantiation: generator.Params{
+			SizeSlotFills: mi(s.SizeSlotFills),
+			SizeTables:    mi(s.SizeTables),
+			GroupByP:      mf(s.GroupByP),
+			JoinBoost:     mf(s.JoinBoost),
+			AggBoost:      mf(s.AggBoost),
+			NestBoost:     mf(s.NestBoost),
+		},
+		Augmentation: augment.Params{
+			SizePara:   mi(s.SizePara),
+			NumPara:    mi(s.NumPara),
+			NumMissing: mi(s.NumMissing),
+			RandDropP:  mf(s.RandDropP),
+		},
+		Lemmatize: true,
+	}
+}
+
+// setAxis sets one parameter to its lo (end=0) or hi (end=1) bound.
+func (s Space) setAxis(p *core.Params, axis, end int) {
+	gi := func(b [2]int) int { return b[end] }
+	gf := func(b [2]float64) float64 { return b[end] }
+	switch axis {
+	case 0:
+		p.Instantiation.SizeSlotFills = gi(s.SizeSlotFills)
+	case 1:
+		p.Instantiation.SizeTables = gi(s.SizeTables)
+	case 2:
+		p.Instantiation.GroupByP = gf(s.GroupByP)
+	case 3:
+		p.Instantiation.JoinBoost = gf(s.JoinBoost)
+	case 4:
+		p.Instantiation.AggBoost = gf(s.AggBoost)
+	case 5:
+		p.Instantiation.NestBoost = gf(s.NestBoost)
+	case 6:
+		p.Augmentation.SizePara = gi(s.SizePara)
+	case 7:
+		p.Augmentation.NumPara = gi(s.NumPara)
+	case 8:
+		p.Augmentation.NumMissing = gi(s.NumMissing)
+	case 9:
+		p.Augmentation.RandDropP = gf(s.RandDropP)
+	}
+}
+
+// Stats summarizes converged trial accuracies: count, min, max, mean,
+// standard deviation.
+func Stats(trials []Trial) (n int, min, max, mean, std float64) {
+	min = math.Inf(1)
+	max = math.Inf(-1)
+	sum := 0.0
+	for _, t := range trials {
+		if !t.Converged {
+			continue
+		}
+		n++
+		sum += t.Accuracy
+		if t.Accuracy < min {
+			min = t.Accuracy
+		}
+		if t.Accuracy > max {
+			max = t.Accuracy
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0, 0, 0
+	}
+	mean = sum / float64(n)
+	varsum := 0.0
+	for _, t := range trials {
+		if t.Converged {
+			d := t.Accuracy - mean
+			varsum += d * d
+		}
+	}
+	std = math.Sqrt(varsum / float64(n))
+	return n, min, max, mean, std
+}
+
+// Histogram bins converged accuracies into nbins equal-width buckets
+// over [min, max] (the paper's Figure 4 rendering).
+type HistogramBin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram builds the accuracy histogram.
+func Histogram(trials []Trial, nbins int) []HistogramBin {
+	n, min, max, _, _ := Stats(trials)
+	if n == 0 || nbins <= 0 {
+		return nil
+	}
+	if max == min {
+		max = min + 1e-9
+	}
+	width := (max - min) / float64(nbins)
+	bins := make([]HistogramBin, nbins)
+	for i := range bins {
+		bins[i] = HistogramBin{Lo: min + float64(i)*width, Hi: min + float64(i+1)*width}
+	}
+	for _, t := range trials {
+		if !t.Converged {
+			continue
+		}
+		idx := int((t.Accuracy - min) / width)
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		bins[idx].Count++
+	}
+	return bins
+}
+
+// FormatHistogram renders the histogram as a text chart.
+func FormatHistogram(bins []HistogramBin) string {
+	out := ""
+	for _, b := range bins {
+		bar := ""
+		for i := 0; i < b.Count; i++ {
+			bar += "█"
+		}
+		out += fmt.Sprintf("%.3f-%.3f | %-s (%d)\n", b.Lo, b.Hi, bar, b.Count)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+func trainedSeq2Seq(t *testing.T) *Seq2Seq {
+	t.Helper()
+	cfg := DefaultSeq2SeqConfig()
+	cfg.Epochs = 150
+	cfg.EmbDim = 24
+	cfg.HidDim = 48
+	m := NewSeq2Seq(cfg)
+	m.Train(trainingExamples())
+	return m
+}
+
+func TestBeamWidthOneMatchesGreedy(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	for _, ex := range trainingExamples() {
+		greedy := strings.Join(m.Translate(ex.NL, ex.Schema), " ")
+		beams := m.TranslateBeam(ex.NL, ex.Schema, 1)
+		if len(beams) == 0 {
+			t.Fatal("beam search returned nothing")
+		}
+		beam := strings.Join(beams[0], " ")
+		if greedy != beam {
+			t.Fatalf("beam=1 differs from greedy:\n%s\n%s", greedy, beam)
+		}
+	}
+}
+
+func TestBeamSearchTopCandidateCorrect(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	for _, ex := range trainingExamples() {
+		beams := m.TranslateBeam(ex.NL, ex.Schema, 3)
+		if len(beams) == 0 {
+			t.Fatal("no beams")
+		}
+		if got := strings.Join(beams[0], " "); got != strings.Join(ex.SQL, " ") {
+			t.Fatalf("top beam wrong: %q", got)
+		}
+	}
+}
+
+func TestBeamSearchDistinctCandidates(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	ex := trainingExamples()[0]
+	beams := m.TranslateBeam(ex.NL, ex.Schema, 4)
+	seen := map[string]bool{}
+	for _, b := range beams {
+		k := strings.Join(b, " ")
+		if seen[k] {
+			t.Fatalf("duplicate beam %q", k)
+		}
+		seen[k] = true
+	}
+	if len(beams) < 2 {
+		t.Fatalf("expected multiple distinct candidates, got %d", len(beams))
+	}
+}
+
+func TestSeq2SeqTranslateKContract(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	ex := trainingExamples()[0]
+	ks := m.TranslateK(ex.NL, ex.Schema, 3)
+	if len(ks) == 0 || len(ks) > 3 {
+		t.Fatalf("TranslateK returned %d candidates", len(ks))
+	}
+}
+
+func TestSketchTranslateK(t *testing.T) {
+	cfg := DefaultSketchConfig()
+	cfg.Epochs = 60
+	m := NewSketch(cfg)
+	m.Train(trainingExamples())
+	ex := trainingExamples()[0]
+	ks := m.TranslateK(ex.NL, ex.Schema, 3)
+	if len(ks) != 3 {
+		t.Fatalf("TranslateK returned %d candidates (inventory has %d sketches)", len(ks), m.NumSketches())
+	}
+	// The top candidate matches plain Translate.
+	if strings.Join(ks[0], " ") != strings.Join(m.Translate(ex.NL, ex.Schema), " ") {
+		t.Fatal("TranslateK[0] differs from Translate")
+	}
+	// Candidates come from distinct sketches.
+	if strings.Join(ks[0], " ") == strings.Join(ks[1], " ") {
+		t.Fatal("top two sketch candidates identical")
+	}
+}
+
+func TestUntrainedTranslateK(t *testing.T) {
+	if out := NewSeq2Seq(DefaultSeq2SeqConfig()).TranslateK([]string{"x"}, []string{"t"}, 3); out != nil {
+		t.Fatal("untrained seq2seq TranslateK should be nil")
+	}
+	if out := NewSketch(DefaultSketchConfig()).TranslateK([]string{"x"}, []string{"t"}, 3); out != nil {
+		t.Fatal("untrained sketch TranslateK should be nil")
+	}
+}

@@ -1,0 +1,44 @@
+package models
+
+import (
+	"math/rand"
+
+	"repro/internal/lexicon"
+	"repro/internal/neural"
+	"repro/internal/tokens"
+)
+
+// applySynonymClusters re-initializes the embedding rows of known
+// synonym groups so that synonyms start near each other: every word of
+// a group gets the group's base vector plus small per-word jitter.
+// This is the GloVe substitution of DESIGN.md — pretrained embeddings'
+// role in the paper ("handle variations of individual words") is to
+// make synonyms look similar to the model before any task training;
+// synonym-clustered initialization provides the same prior from the
+// lexicon instead of a 6B-token corpus.
+func applySynonymClusters(emb *neural.Embedding, vocab *tokens.Vocab, rng *rand.Rand) {
+	dim := emb.Dim
+	for _, head := range sortedKeys(lexicon.GeneralSynonyms) {
+		group := append([]string{head}, lexicon.GeneralSynonyms[head]...)
+		// Only cluster words that are single tokens in the vocabulary.
+		var ids []int
+		for _, w := range group {
+			if vocab.Has(w) {
+				ids = append(ids, vocab.ID(w))
+			}
+		}
+		if len(ids) < 2 {
+			continue
+		}
+		base := make([]float64, dim)
+		for i := range base {
+			base[i] = (rng.Float64()*2 - 1) * 0.35
+		}
+		for _, id := range ids {
+			row := emb.E.Row(id)
+			for i := range row {
+				row[i] = base[i] + (rng.Float64()*2-1)*0.08
+			}
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package models
+
+import (
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/neural"
+	"repro/internal/tokens"
+)
+
+// Seq2SeqConfig sizes and schedules the seq2seq translator. The
+// defaults are deliberately small: the repository targets single-core
+// CPU training (see DESIGN.md).
+type Seq2SeqConfig struct {
+	EmbDim    int     // embedding dimension
+	HidDim    int     // GRU hidden dimension
+	LR        float64 // Adam learning rate
+	Epochs    int     // training epochs
+	SampleCap int     // max examples used per epoch (0 = all)
+	MaxOutLen int     // decoding length cap
+	GradClip  float64 // global gradient-norm clip
+	MinCount  int     // vocabulary min token count
+	Seed      int64
+}
+
+// DefaultSeq2SeqConfig returns the standard small configuration.
+func DefaultSeq2SeqConfig() Seq2SeqConfig {
+	return Seq2SeqConfig{
+		EmbDim:    48,
+		HidDim:    96,
+		LR:        0.002,
+		Epochs:    6,
+		SampleCap: 4000,
+		MaxOutLen: 48,
+		GradClip:  5,
+		MinCount:  1,
+		Seed:      1,
+	}
+}
+
+// Seq2Seq is an attention + copy (pointer-generator) encoder-decoder:
+// a GRU encoder over [NL tokens, <sep>, schema tokens], a GRU decoder
+// with Luong dot attention over encoder states, and an output mixture
+// of a vocabulary softmax and a copy distribution over input
+// positions. The copy path lets the model emit schema tokens of
+// databases never seen in training — the mechanism that makes the
+// translator usable in the Spider-style cross-schema evaluation.
+type Seq2Seq struct {
+	cfg   Seq2SeqConfig
+	vocab *tokens.Vocab
+	ps    *neural.ParamSet
+	emb   *neural.Embedding
+	enc   *neural.GRU
+	dec   *neural.GRU
+	wc    *neural.Linear // comb = tanh(Wc [h_dec; ctx])
+	wo    *neural.Linear // vocabulary logits
+	wg    *neural.Linear // p_gen scalar
+	rng   *rand.Rand
+}
+
+// NewSeq2Seq returns an untrained model; parameters are allocated at
+// Train time once the vocabulary is known.
+func NewSeq2Seq(cfg Seq2SeqConfig) *Seq2Seq {
+	return &Seq2Seq{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Name implements Translator.
+func (m *Seq2Seq) Name() string { return "seq2seq" }
+
+// Vocab exposes the trained vocabulary (nil before Train).
+func (m *Seq2Seq) Vocab() *tokens.Vocab { return m.vocab }
+
+// NumParams returns the number of trainable parameters (0 before
+// Train).
+func (m *Seq2Seq) NumParams() int {
+	if m.ps == nil {
+		return 0
+	}
+	return m.ps.NumParams()
+}
+
+func (m *Seq2Seq) build(vocabSize int) {
+	m.ps = &neural.ParamSet{}
+	m.emb = neural.NewEmbedding(m.ps, "emb", vocabSize, m.cfg.EmbDim, m.rng)
+	applySynonymClusters(m.emb, m.vocab, m.rng)
+	m.enc = neural.NewGRU(m.ps, "enc", m.cfg.EmbDim, m.cfg.HidDim, m.rng)
+	m.dec = neural.NewGRU(m.ps, "dec", m.cfg.EmbDim, m.cfg.HidDim, m.rng)
+	m.wc = neural.NewLinear(m.ps, "wc", 2*m.cfg.HidDim, m.cfg.HidDim, m.rng)
+	m.wo = neural.NewLinear(m.ps, "wo", m.cfg.HidDim, vocabSize, m.rng)
+	m.wg = neural.NewLinear(m.ps, "wg", m.cfg.HidDim, 1, m.rng)
+}
+
+// Train implements Translator: per-example Adam steps with teacher
+// forcing, SampleCap examples per epoch.
+func (m *Seq2Seq) Train(examples []Example) {
+	if len(examples) == 0 {
+		return
+	}
+	m.vocab = BuildVocabs(examples, m.cfg.MinCount)
+	m.build(m.vocab.Size())
+	opt := neural.NewAdam(m.ps, m.cfg.LR)
+
+	order := make([]int, len(examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		n := len(order)
+		if m.cfg.SampleCap > 0 && n > m.cfg.SampleCap {
+			n = m.cfg.SampleCap
+		}
+		for _, idx := range order[:n] {
+			ex := examples[idx]
+			m.step(ex, opt)
+		}
+	}
+}
+
+// encState holds the encoder pass over one input.
+type encState struct {
+	ids    []int
+	toks   []string
+	states [][]float64
+	caches []*neural.GRUCache
+	final  []float64
+}
+
+func (m *Seq2Seq) encode(input []string) *encState {
+	es := &encState{toks: input, ids: m.vocab.Encode(input)}
+	h := neural.NewVec(m.cfg.HidDim)
+	for _, id := range es.ids {
+		x := m.emb.Lookup(id)
+		hn, cache := m.enc.Forward(x, h)
+		es.states = append(es.states, hn)
+		es.caches = append(es.caches, cache)
+		h = hn
+	}
+	es.final = h
+	return es
+}
+
+// decStep holds one decoder step's intermediates for backprop.
+type decStep struct {
+	prevID   int
+	cache    *neural.GRUCache
+	hDec     []float64
+	alpha    []float64
+	ctx      []float64
+	concat   []float64
+	combPre  []float64 // wc output before tanh? stored as comb (post-tanh)
+	comb     []float64
+	logits   []float64
+	pv       []float64
+	pgen     float64
+	target   string
+	targetID int
+	prob     float64
+}
+
+// forwardStep runs one decoder step.
+func (m *Seq2Seq) forwardStep(prevID int, h []float64, es *encState) (*decStep, []float64) {
+	st := &decStep{prevID: prevID}
+	x := m.emb.Lookup(prevID)
+	hNew, cache := m.dec.Forward(x, h)
+	st.cache = cache
+	st.hDec = hNew
+
+	// Luong dot attention over encoder states.
+	T := len(es.states)
+	scores := neural.NewVec(T)
+	for i, eh := range es.states {
+		scores[i] = neural.Dot(hNew, eh)
+	}
+	st.alpha = neural.Softmax(scores, neural.NewVec(T))
+	st.ctx = neural.NewVec(m.cfg.HidDim)
+	for i, a := range st.alpha {
+		neural.Axpy(a, es.states[i], st.ctx)
+	}
+
+	st.concat = make([]float64, 0, 2*m.cfg.HidDim)
+	st.concat = append(st.concat, hNew...)
+	st.concat = append(st.concat, st.ctx...)
+	pre := m.wc.Forward(st.concat)
+	st.comb = neural.NewVec(m.cfg.HidDim)
+	neural.Tanh(pre, st.comb)
+
+	st.logits = m.wo.Forward(st.comb)
+	st.pv = neural.Softmax(st.logits, neural.NewVec(len(st.logits)))
+	g := m.wg.Forward(st.comb)[0]
+	st.pgen = 1.0 / (1.0 + math.Exp(-g))
+	return st, hNew
+}
+
+// prob computes the mixture probability of emitting token t.
+func (st *decStep) probOf(t string, vocab *tokens.Vocab, es *encState) (p, copySum float64, inVocab bool) {
+	inVocab = vocab.Has(t)
+	if inVocab {
+		p = st.pgen * st.pv[vocab.ID(t)]
+	}
+	for i, tok := range es.toks {
+		if tok == t {
+			copySum += st.alpha[i]
+		}
+	}
+	p += (1 - st.pgen) * copySum
+	return p, copySum, inVocab
+}
+
+// rollout runs the teacher-forced forward pass and returns the
+// encoder state, the decoder steps, and the summed negative
+// log-likelihood.
+func (m *Seq2Seq) rollout(ex Example) (*encState, []*decStep, float64) {
+	input := InputSequence(ex.NL, ex.Schema)
+	es := m.encode(input)
+
+	target := append(append([]string{}, ex.SQL...), tokens.EosToken)
+	h := es.final
+	prevID := tokens.BosID
+	steps := make([]*decStep, 0, len(target))
+	loss := 0.0
+	for _, t := range target {
+		st, hNew := m.forwardStep(prevID, h, es)
+		st.target = t
+		st.targetID = m.vocab.ID(t)
+		p, _, _ := st.probOf(t, m.vocab, es)
+		st.prob = p
+		pc := p
+		if pc < 1e-12 {
+			pc = 1e-12
+		}
+		loss += -math.Log(pc)
+		steps = append(steps, st)
+		h = hNew
+		prevID = st.targetID // teacher forcing (OOV -> UNK embedding)
+	}
+	return es, steps, loss
+}
+
+// Loss returns the teacher-forced NLL of one example without touching
+// gradients (used by gradient checks and validation).
+func (m *Seq2Seq) Loss(ex Example) float64 {
+	_, _, loss := m.rollout(ex)
+	return loss
+}
+
+// step runs one training example: forward, loss, backward, update.
+func (m *Seq2Seq) step(ex Example, opt *neural.Adam) {
+	m.backprop(ex)
+	m.ps.ClipGrad(m.cfg.GradClip)
+	opt.Step()
+}
+
+// backprop accumulates gradients for one example and returns its loss.
+func (m *Seq2Seq) backprop(ex Example) float64 {
+	es, steps, loss := m.rollout(ex)
+
+	// Backward.
+	hid := m.cfg.HidDim
+	dEnc := make([][]float64, len(es.states))
+	for i := range dEnc {
+		dEnc[i] = neural.NewVec(hid)
+	}
+	dh := neural.NewVec(hid) // recurrent grad into decoder step t
+	for k := len(steps) - 1; k >= 0; k-- {
+		st := steps[k]
+		p := st.prob
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		dP := -1.0 / p
+
+		inVocab := m.vocab.Has(st.target)
+		copySum := 0.0
+		for i, tok := range es.toks {
+			if tok == st.target {
+				copySum += st.alpha[i]
+			}
+		}
+		// d p_gen and the two mixture branches.
+		var dPvT float64
+		if inVocab {
+			dPvT = dP * st.pgen
+		}
+		dpgen := 0.0
+		if inVocab {
+			dpgen += dP * st.pv[st.targetID]
+		}
+		dpgen -= dP * copySum
+
+		dAlpha := neural.NewVec(len(st.alpha))
+		for i, tok := range es.toks {
+			if tok == st.target {
+				dAlpha[i] += dP * (1 - st.pgen)
+			}
+		}
+
+		dComb := neural.NewVec(hid)
+
+		// Vocabulary softmax backward (single nonzero dPv row).
+		if dPvT != 0 {
+			pvT := st.pv[st.targetID]
+			dLogits := neural.NewVec(len(st.pv))
+			for j := range dLogits {
+				d := -pvT * st.pv[j]
+				if j == st.targetID {
+					d += pvT
+				}
+				dLogits[j] = dPvT * d
+			}
+			dc := m.wo.Backward(st.comb, dLogits)
+			for i := range dComb {
+				dComb[i] += dc[i]
+			}
+		}
+
+		// p_gen sigmoid backward.
+		if dpgen != 0 {
+			dg := dpgen * st.pgen * (1 - st.pgen)
+			dc := m.wg.Backward(st.comb, []float64{dg})
+			for i := range dComb {
+				dComb[i] += dc[i]
+			}
+		}
+
+		// comb = tanh(wc [h;ctx]) backward.
+		dPre := neural.NewVec(hid)
+		for i := range dPre {
+			dPre[i] = dComb[i] * (1 - st.comb[i]*st.comb[i])
+		}
+		dConcat := m.wc.Backward(st.concat, dPre)
+		dHdec := neural.NewVec(hid)
+		copy(dHdec, dConcat[:hid])
+		dCtx := dConcat[hid:]
+
+		// ctx = Σ α_i enc_i backward.
+		for i, a := range st.alpha {
+			neural.Axpy(a, dCtx, dEnc[i])
+			dAlpha[i] += neural.Dot(dCtx, es.states[i])
+		}
+		// Attention softmax backward.
+		sumAD := 0.0
+		for i, a := range st.alpha {
+			sumAD += a * dAlpha[i]
+		}
+		for i, a := range st.alpha {
+			ds := a * (dAlpha[i] - sumAD)
+			if ds == 0 {
+				continue
+			}
+			neural.Axpy(ds, es.states[i], dHdec)
+			neural.Axpy(ds, st.hDec, dEnc[i])
+		}
+
+		// Recurrent grad from the next step.
+		for i := range dHdec {
+			dHdec[i] += dh[i]
+		}
+		dx, dhPrev := m.dec.Backward(st.cache, dHdec)
+		m.emb.AccumGrad(st.prevID, dx)
+		dh = dhPrev
+	}
+
+	// Encoder backward: decoder initial state was the encoder final
+	// state, so dh chains straight in.
+	for i := len(es.caches) - 1; i >= 0; i-- {
+		for j := range dh {
+			dh[j] += dEnc[i][j]
+		}
+		dx, dhPrev := m.enc.Backward(es.caches[i], dh)
+		m.emb.AccumGrad(es.ids[i], dx)
+		dh = dhPrev
+	}
+	return loss
+}
+
+// Translate implements Translator: greedy decoding with the
+// generate/copy mixture.
+func (m *Seq2Seq) Translate(nl, schemaToks []string) []string {
+	if m.vocab == nil {
+		return nil
+	}
+	input := InputSequence(nl, schemaToks)
+	es := m.encode(input)
+	h := es.final
+	prevID := tokens.BosID
+	var out []string
+	for step := 0; step < m.cfg.MaxOutLen; step++ {
+		st, hNew := m.forwardStep(prevID, h, es)
+		tok := m.bestToken(st, es)
+		if tok == tokens.EosToken {
+			break
+		}
+		out = append(out, tok)
+		h = hNew
+		prevID = m.vocab.ID(tok)
+	}
+	return out
+}
+
+// bestToken picks the argmax token of the mixture distribution over
+// the vocabulary plus copyable input tokens.
+func (m *Seq2Seq) bestToken(st *decStep, es *encState) string {
+	// Copy mass per distinct input token.
+	copyMass := map[string]float64{}
+	for i, tok := range es.toks {
+		copyMass[tok] += st.alpha[i]
+	}
+	bestTok := tokens.EosToken
+	bestP := math.Inf(-1)
+	for id, pv := range st.pv {
+		p := st.pgen * pv
+		w := m.vocab.Word(id)
+		if cm, ok := copyMass[w]; ok {
+			p += (1 - st.pgen) * cm
+		}
+		if id == tokens.PadID || id == tokens.BosID || id == tokens.UnkID || w == tokens.SepToken {
+			continue
+		}
+		if p > bestP {
+			bestP, bestTok = p, w
+		}
+	}
+	for _, tok := range sortedKeys(copyMass) {
+		if m.vocab.Has(tok) || tok == tokens.SepToken {
+			continue // already counted through the vocabulary loop
+		}
+		p := (1 - st.pgen) * copyMass[tok]
+		if p > bestP {
+			bestP, bestTok = p, tok
+		}
+	}
+	return bestTok
+}
+
+// Save writes the model weights (vocabulary must be rebuilt by
+// retraining or supplied externally; cmd/dbpal-train persists both).
+func (m *Seq2Seq) Save(w io.Writer) error { return m.ps.Save(w) }
+
+// LoadInto restores weights into a model already built with the same
+// vocabulary and configuration.
+func (m *Seq2Seq) LoadInto(r io.Reader) error { return m.ps.Load(r) }

@@ -1,0 +1,107 @@
+package neural
+
+import "math"
+
+// ParamSet is a registry of trainable matrices, shared by a model and
+// its optimizer.
+type ParamSet struct {
+	mats  []*Mat
+	names []string
+}
+
+// Register adds a matrix under a name (names make save/load stable).
+func (p *ParamSet) Register(name string, m *Mat) *Mat {
+	p.mats = append(p.mats, m)
+	p.names = append(p.names, name)
+	return m
+}
+
+// Mats returns the registered matrices.
+func (p *ParamSet) Mats() []*Mat { return p.mats }
+
+// Names returns the registered names, parallel to Mats.
+func (p *ParamSet) Names() []string { return p.names }
+
+// ZeroGrad clears all gradients.
+func (p *ParamSet) ZeroGrad() {
+	for _, m := range p.mats {
+		m.ZeroGrad()
+	}
+}
+
+// GradNorm returns the global L2 norm of all gradients.
+func (p *ParamSet) GradNorm() float64 {
+	s := 0.0
+	for _, m := range p.mats {
+		for _, g := range m.G {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// ClipGrad scales gradients so the global norm is at most maxNorm.
+func (p *ParamSet) ClipGrad(maxNorm float64) {
+	n := p.GradNorm()
+	if n <= maxNorm || n == 0 {
+		return
+	}
+	scale := maxNorm / n
+	for _, m := range p.mats {
+		for i := range m.G {
+			m.G[i] *= scale
+		}
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (p *ParamSet) NumParams() int {
+	n := 0
+	for _, m := range p.mats {
+		n += len(m.W)
+	}
+	return n
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) over a ParamSet.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	t      int
+	m, v   [][]float64
+	params *ParamSet
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults.
+func NewAdam(p *ParamSet, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: p}
+	for _, m := range p.mats {
+		a.m = append(a.m, make([]float64, len(m.W)))
+		a.v = append(a.v, make([]float64, len(m.W)))
+	}
+	return a
+}
+
+// Step applies one Adam update from the accumulated gradients and
+// clears them.
+func (a *Adam) Step() {
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for k, mat := range a.params.mats {
+		mbuf, vbuf := a.m[k], a.v[k]
+		for i, g := range mat.G {
+			if g == 0 && mbuf[i] == 0 && vbuf[i] == 0 {
+				continue // untouched sparse rows (embeddings)
+			}
+			mbuf[i] = a.Beta1*mbuf[i] + (1-a.Beta1)*g
+			vbuf[i] = a.Beta2*vbuf[i] + (1-a.Beta2)*g*g
+			mhat := mbuf[i] / b1c
+			vhat := vbuf[i] / b2c
+			mat.W[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+			mat.G[i] = 0
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package neural
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GRU is a gated recurrent unit cell:
+//
+//	z  = σ(Wz x + Uz h + bz)
+//	r  = σ(Wr x + Ur h + br)
+//	c  = tanh(Wh x + Uh (r⊙h) + bh)
+//	h' = (1-z)⊙h + z⊙c
+type GRU struct {
+	In, Hid                            int
+	Wz, Uz, Bz, Wr, Ur, Br, Wh, Uh, Bh *Mat
+}
+
+// NewGRU builds a GRU cell and registers its parameters under the
+// given name prefix.
+func NewGRU(ps *ParamSet, prefix string, in, hid int, rng *rand.Rand) *GRU {
+	reg := func(n string, m *Mat) *Mat { return ps.Register(prefix+"."+n, m) }
+	return &GRU{
+		In: in, Hid: hid,
+		Wz: reg("Wz", NewMatRand(hid, in, rng)),
+		Uz: reg("Uz", NewMatRand(hid, hid, rng)),
+		Bz: reg("Bz", NewMat(hid, 1)),
+		Wr: reg("Wr", NewMatRand(hid, in, rng)),
+		Ur: reg("Ur", NewMatRand(hid, hid, rng)),
+		Br: reg("Br", NewMat(hid, 1)),
+		Wh: reg("Wh", NewMatRand(hid, in, rng)),
+		Uh: reg("Uh", NewMatRand(hid, hid, rng)),
+		Bh: reg("Bh", NewMat(hid, 1)),
+	}
+}
+
+// GRUCache holds the intermediates of one forward step needed by the
+// backward pass.
+type GRUCache struct {
+	X, H        []float64 // inputs
+	Z, R, C, RH []float64 // gates, candidate, r⊙h
+	HNew        []float64
+}
+
+// Forward computes one step and returns the new hidden state with the
+// cache for backprop. x has length In, h length Hid.
+func (g *GRU) Forward(x, h []float64) ([]float64, *GRUCache) {
+	hid := g.Hid
+	cache := &GRUCache{
+		X: x, H: h,
+		Z: NewVec(hid), R: NewVec(hid), C: NewVec(hid),
+		RH: NewVec(hid), HNew: NewVec(hid),
+	}
+	az := NewVec(hid)
+	g.Wz.MulVec(x, az)
+	g.Uz.MulVecAdd(h, az)
+	for i := range az {
+		az[i] += g.Bz.W[i]
+	}
+	Sigmoid(az, cache.Z)
+
+	ar := NewVec(hid)
+	g.Wr.MulVec(x, ar)
+	g.Ur.MulVecAdd(h, ar)
+	for i := range ar {
+		ar[i] += g.Br.W[i]
+	}
+	Sigmoid(ar, cache.R)
+
+	for i := range cache.RH {
+		cache.RH[i] = cache.R[i] * h[i]
+	}
+	ac := NewVec(hid)
+	g.Wh.MulVec(x, ac)
+	g.Uh.MulVecAdd(cache.RH, ac)
+	for i := range ac {
+		ac[i] += g.Bh.W[i]
+	}
+	Tanh(ac, cache.C)
+
+	for i := range cache.HNew {
+		cache.HNew[i] = (1-cache.Z[i])*h[i] + cache.Z[i]*cache.C[i]
+	}
+	return cache.HNew, cache
+}
+
+// Backward accumulates parameter gradients for one step given the
+// gradient dHNew w.r.t. the step's output, and returns (dx, dh), the
+// gradients w.r.t. the step's inputs.
+func (g *GRU) Backward(cache *GRUCache, dHNew []float64) (dx, dh []float64) {
+	hid := g.Hid
+	dx = NewVec(g.In)
+	dh = NewVec(hid)
+
+	dc := NewVec(hid)
+	dz := NewVec(hid)
+	for i := 0; i < hid; i++ {
+		dc[i] = dHNew[i] * cache.Z[i]
+		dz[i] = dHNew[i] * (cache.C[i] - cache.H[i])
+		dh[i] += dHNew[i] * (1 - cache.Z[i])
+	}
+
+	// Candidate path: c = tanh(ac).
+	dac := NewVec(hid)
+	for i := 0; i < hid; i++ {
+		dac[i] = dc[i] * (1 - cache.C[i]*cache.C[i])
+	}
+	g.Wh.AddOuterGrad(dac, cache.X)
+	g.Uh.AddOuterGrad(dac, cache.RH)
+	for i := 0; i < hid; i++ {
+		g.Bh.G[i] += dac[i]
+	}
+	g.Wh.MulVecT(dac, dx)
+	dRH := NewVec(hid)
+	g.Uh.MulVecT(dac, dRH)
+	dr := NewVec(hid)
+	for i := 0; i < hid; i++ {
+		dr[i] = dRH[i] * cache.H[i]
+		dh[i] += dRH[i] * cache.R[i]
+	}
+
+	// Update gate path.
+	daz := NewVec(hid)
+	for i := 0; i < hid; i++ {
+		daz[i] = dz[i] * cache.Z[i] * (1 - cache.Z[i])
+	}
+	g.Wz.AddOuterGrad(daz, cache.X)
+	g.Uz.AddOuterGrad(daz, cache.H)
+	for i := 0; i < hid; i++ {
+		g.Bz.G[i] += daz[i]
+	}
+	g.Wz.MulVecT(daz, dx)
+	g.Uz.MulVecT(daz, dh)
+
+	// Reset gate path.
+	dar := NewVec(hid)
+	for i := 0; i < hid; i++ {
+		dar[i] = dr[i] * cache.R[i] * (1 - cache.R[i])
+	}
+	g.Wr.AddOuterGrad(dar, cache.X)
+	g.Ur.AddOuterGrad(dar, cache.H)
+	for i := 0; i < hid; i++ {
+		g.Br.G[i] += dar[i]
+	}
+	g.Wr.MulVecT(dar, dx)
+	g.Ur.MulVecT(dar, dh)
+
+	return dx, dh
+}
+
+// Embedding is a trainable token-embedding table with sparse gradient
+// updates.
+type Embedding struct {
+	Dim int
+	E   *Mat // rows = vocab, cols = dim
+}
+
+// NewEmbedding builds an embedding table registered under name.
+func NewEmbedding(ps *ParamSet, name string, vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Dim: dim, E: ps.Register(name, NewMatRand(vocab, dim, rng))}
+}
+
+// Lookup returns the embedding row for a token id (clamped to the
+// table; callers map OOV to a dedicated id).
+func (e *Embedding) Lookup(id int) []float64 {
+	if id < 0 || id >= e.E.R {
+		id = 0
+	}
+	return e.E.Row(id)
+}
+
+// AccumGrad adds g to the gradient row of token id.
+func (e *Embedding) AccumGrad(id int, g []float64) {
+	if id < 0 || id >= e.E.R {
+		id = 0
+	}
+	row := e.E.GradRow(id)
+	for i, v := range g {
+		row[i] += v
+	}
+}
+
+// Linear is a fully connected layer y = W x + b.
+type Linear struct {
+	In, Out int
+	W       *Mat
+	B       *Mat
+}
+
+// NewLinear builds a linear layer registered under the name prefix.
+func NewLinear(ps *ParamSet, prefix string, in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		In: in, Out: out,
+		W: ps.Register(prefix+".W", NewMatRand(out, in, rng)),
+		B: ps.Register(prefix+".B", NewMat(out, 1)),
+	}
+}
+
+// Forward computes y = W x + b.
+func (l *Linear) Forward(x []float64) []float64 {
+	y := NewVec(l.Out)
+	l.W.MulVec(x, y)
+	for i := range y {
+		y[i] += l.B.W[i]
+	}
+	return y
+}
+
+// Backward accumulates gradients given dY and the cached input x, and
+// returns dX.
+func (l *Linear) Backward(x, dY []float64) []float64 {
+	l.W.AddOuterGrad(dY, x)
+	for i, g := range dY {
+		l.B.G[i] += g
+	}
+	dx := NewVec(l.In)
+	l.W.MulVecT(dY, dx)
+	return dx
+}
+
+// Validate panics if the layer shapes are inconsistent; used in tests.
+func (l *Linear) Validate() {
+	if l.W.R != l.Out || l.W.C != l.In || l.B.R != l.Out {
+		panic(fmt.Sprintf("neural: inconsistent Linear shapes W=%v B=%v in=%d out=%d", l.W, l.B, l.In, l.Out))
+	}
+}

@@ -1,0 +1,50 @@
+package neural
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// savedMat is the serialized form of one parameter matrix.
+type savedMat struct {
+	Name string
+	R, C int
+	W    []float64
+}
+
+// Save writes every registered parameter to w (weights only).
+func (p *ParamSet) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	var out []savedMat
+	for i, m := range p.mats {
+		out = append(out, savedMat{Name: p.names[i], R: m.R, C: m.C, W: m.W})
+	}
+	return enc.Encode(out)
+}
+
+// Load restores previously saved weights into the registered
+// parameters, matching by name and shape.
+func (p *ParamSet) Load(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var in []savedMat
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("neural: load: %w", err)
+	}
+	byName := map[string]savedMat{}
+	for _, m := range in {
+		byName[m.Name] = m
+	}
+	for i, m := range p.mats {
+		s, ok := byName[p.names[i]]
+		if !ok {
+			return fmt.Errorf("neural: load: missing parameter %q", p.names[i])
+		}
+		if s.R != m.R || s.C != m.C {
+			return fmt.Errorf("neural: load: shape mismatch for %q: have %dx%d, saved %dx%d",
+				p.names[i], m.R, m.C, s.R, s.C)
+		}
+		copy(m.W, s.W)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package runtime_test
+
+import (
+	"fmt"
+
+	"repro/internal/runtime"
+)
+
+func ExampleJaccard() {
+	fmt.Printf("%.2f\n", runtime.Jaccard("new york city", "new york city"))
+	fmt.Println(runtime.Jaccard("nyc", "boston") < runtime.Jaccard("new york", "new york city"))
+	// Output:
+	// 1.00
+	// true
+}

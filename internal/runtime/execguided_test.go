@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// flakyModel returns a broken top candidate and a correct second one —
+// the situation execution-guided decoding exists for.
+type flakyModel struct{}
+
+func (flakyModel) Name() string           { return "flaky" }
+func (flakyModel) Train([]models.Example) {}
+func (flakyModel) Translate(nl, st []string) []string {
+	return strings.Fields("SELECT nonexistent FROM patients")
+}
+func (flakyModel) TranslateK(nl, st []string, k int) [][]string {
+	return [][]string{
+		strings.Fields("SELECT nonexistent FROM patients"),                    // post-process passes, execution fails
+		strings.Fields("SELECT COUNT ( * FROM"),                               // unparsable
+		strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE"), // good
+	}
+}
+
+func TestExecutionGuidedRecovers(t *testing.T) {
+	db := benchDB(t)
+	tr := NewTranslator(db, flakyModel{})
+
+	// Plain mode: the single candidate fails at execution time (the
+	// translation itself succeeds because "nonexistent" cannot be
+	// attributed to any table).
+	if _, _, err := tr.Ask("show patients with age 80"); err == nil {
+		t.Fatal("plain mode should fail on the broken top candidate")
+	}
+
+	// Execution-guided mode: the third candidate wins.
+	tr.ExecutionGuided = 3
+	res, q, err := tr.Ask("show patients with age 80")
+	if err != nil {
+		t.Fatalf("execution-guided mode failed: %v", err)
+	}
+	if !strings.Contains(q.String(), "age = 80") {
+		t.Fatalf("unexpected recovered query: %s", q)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(res.Rows))
+	}
+}
+
+// allBadModel has no viable candidate at all.
+type allBadModel struct{}
+
+func (allBadModel) Name() string           { return "allbad" }
+func (allBadModel) Train([]models.Example) {}
+func (allBadModel) Translate(nl, st []string) []string {
+	return strings.Fields("garbage output (")
+}
+func (allBadModel) TranslateK(nl, st []string, k int) [][]string {
+	return [][]string{
+		strings.Fields("garbage output ("),
+		strings.Fields("more garbage )"),
+	}
+}
+
+func TestExecutionGuidedSurfacesFirstError(t *testing.T) {
+	db := benchDB(t)
+	tr := NewTranslator(db, allBadModel{})
+	tr.ExecutionGuided = 2
+	_, _, err := tr.Ask("show patients with age 80")
+	if err == nil {
+		t.Fatal("all-bad candidates must yield an error")
+	}
+	if !strings.Contains(err.Error(), "unparsable") {
+		t.Fatalf("expected the first failure to surface, got %v", err)
+	}
+}
+
+func TestExecutionGuidedIgnoredWithoutKTranslator(t *testing.T) {
+	db := benchDB(t)
+	tr := NewTranslator(db, oracleModel{})
+	tr.ExecutionGuided = 5 // oracleModel has no TranslateK; plain path used
+	_, q, err := tr.Ask("show the names of all patients with age 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "80") {
+		t.Fatalf("query = %s", q)
+	}
+}

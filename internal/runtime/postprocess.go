@@ -1,0 +1,403 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// PostProcess applies the paper's post-processing phase (§4.2, §5.1)
+// to a model-produced query:
+//
+//  1. placeholders are replaced by the constants recorded during
+//     anonymization (in order of appearance; LIKE operands gain %
+//     wildcards);
+//  2. the @JOIN placeholder is resolved: the tables referenced by the
+//     query's qualified columns are connected along the shortest join
+//     path and the join predicates are added to WHERE;
+//  3. FROM repair: tables required by referenced columns but missing
+//     from FROM are added (again via shortest join paths), and a FROM
+//     table that matches none of the used columns is replaced.
+func PostProcess(q *sqlast.Query, s *schema.Schema, bindings []Binding) (*sqlast.Query, error) {
+	out := q.Clone()
+	r := &restorer{bindings: bindings}
+	if err := r.restoreQuery(out); err != nil {
+		return nil, err
+	}
+	if err := repairFrom(out, s); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// restorer replaces placeholders with recorded constants. Bindings for
+// a placeholder name are consumed in order; if a name was never
+// recorded (the model hallucinated a different column), the restorer
+// falls back to any unconsumed binding, preferring one whose column
+// name part matches.
+type restorer struct {
+	bindings []Binding
+	used     []bool
+}
+
+func (r *restorer) take(name string) (sqlast.Value, bool) {
+	if r.used == nil {
+		r.used = make([]bool, len(r.bindings))
+	}
+	name = strings.ToUpper(name)
+	// Exact placeholder name.
+	for i, b := range r.bindings {
+		if !r.used[i] && strings.ToUpper(b.Placeholder) == name {
+			r.used[i] = true
+			return b.Value, true
+		}
+	}
+	// Same column part (e.g. model wrote @DOCTORS.NAME for
+	// @PATIENTS.NAME).
+	col := name
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		col = name[i+1:]
+	}
+	for i, b := range r.bindings {
+		if r.used[i] {
+			continue
+		}
+		bcol := strings.ToUpper(b.Placeholder)
+		if j := strings.LastIndexByte(bcol, '.'); j >= 0 {
+			bcol = bcol[j+1:]
+		}
+		if bcol == col {
+			r.used[i] = true
+			return r.bindings[i].Value, true
+		}
+	}
+	// Any unconsumed binding.
+	for i := range r.bindings {
+		if !r.used[i] {
+			r.used[i] = true
+			return r.bindings[i].Value, true
+		}
+	}
+	return sqlast.Value{}, false
+}
+
+func (r *restorer) restoreQuery(q *sqlast.Query) error {
+	var err error
+	q.Where, err = r.restoreExpr(q.Where)
+	if err != nil {
+		return err
+	}
+	q.Having, err = r.restoreExpr(q.Having)
+	return err
+}
+
+func (r *restorer) restoreExpr(e sqlast.Expr) (sqlast.Expr, error) {
+	switch v := e.(type) {
+	case nil:
+		return nil, nil
+	case sqlast.Logic:
+		l, err := r.restoreExpr(v.Left)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.restoreExpr(v.Right)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Logic{Op: v.Op, Left: l, Right: rr}, nil
+	case sqlast.Not:
+		in, err := r.restoreExpr(v.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Not{Inner: in}, nil
+	case sqlast.Comparison:
+		op, err := r.restoreOperand(v.Right, v.Op == sqlast.OpLike)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Comparison{Left: v.Left, Op: v.Op, Right: op}, nil
+	case sqlast.Between:
+		lo, err := r.restoreOperand(v.Lo, false)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := r.restoreOperand(v.Hi, false)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.Between{Col: v.Col, Lo: lo, Hi: hi}, nil
+	case sqlast.InSubquery:
+		if err := r.restoreQuery(v.Query); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case sqlast.Exists:
+		if err := r.restoreQuery(v.Query); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case sqlast.HavingCond:
+		op, err := r.restoreOperand(v.Right, false)
+		if err != nil {
+			return nil, err
+		}
+		return sqlast.HavingCond{Item: v.Item, Op: v.Op, Right: op}, nil
+	default:
+		return e, nil
+	}
+}
+
+func (r *restorer) restoreOperand(o sqlast.Operand, like bool) (sqlast.Operand, error) {
+	switch v := o.(type) {
+	case sqlast.Placeholder:
+		if strings.EqualFold(v.Name, "JOIN") {
+			return o, nil
+		}
+		val, ok := r.take(v.Name)
+		if !ok {
+			return nil, fmt.Errorf("runtime: no constant recorded for placeholder @%s", v.Name)
+		}
+		if like && !val.IsNum {
+			return sqlast.StrValue("%" + val.Str + "%"), nil
+		}
+		return val, nil
+	case sqlast.ScalarSubquery:
+		if err := r.restoreQuery(v.Query); err != nil {
+			return nil, err
+		}
+		return v, nil
+	default:
+		return o, nil
+	}
+}
+
+// repairFrom resolves @JOIN and fixes table/column mismatches on the
+// outer query and every subquery.
+func repairFrom(q *sqlast.Query, s *schema.Schema) error {
+	var firstErr error
+	sqlast.WalkQueries(q, func(sub *sqlast.Query) {
+		if err := repairOne(sub, s); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	return firstErr
+}
+
+func repairOne(q *sqlast.Query, s *schema.Schema) error {
+	needed := neededTables(q, s)
+	if q.From.JoinPlaceholder {
+		if len(needed) == 0 {
+			return fmt.Errorf("runtime: @JOIN with no resolvable column references in %q", q)
+		}
+		return connectTables(q, s, needed)
+	}
+	// Drop FROM tables that are unknown to the schema (model noise).
+	var tables []string
+	for _, t := range q.From.Tables {
+		if s.Table(t) != nil {
+			tables = append(tables, t)
+		}
+	}
+	q.From.Tables = tables
+	// If no valid FROM table remains, adopt the needed set.
+	if len(q.From.Tables) == 0 {
+		if len(needed) == 0 {
+			return fmt.Errorf("runtime: cannot infer FROM tables for %q", q)
+		}
+		return connectTables(q, s, needed)
+	}
+	// Add tables required by columns but missing from FROM.
+	missing := false
+	for _, n := range needed {
+		if !containsFold(q.From.Tables, n) {
+			missing = true
+			break
+		}
+	}
+	if !missing {
+		return nil
+	}
+	all := append(append([]string{}, q.From.Tables...), needed...)
+	return connectTables(q, s, dedupFold(all))
+}
+
+// neededTables collects the tables implied by the query's column
+// references: qualified names directly, unqualified ones through
+// unique containment (columns appearing in several tables don't force
+// a table).
+func neededTables(q *sqlast.Query, s *schema.Schema) []string {
+	var out []string
+	add := func(t string) {
+		if t != "" && s.Table(t) != nil && !containsFold(out, t) {
+			out = append(out, s.Table(t).Name)
+		}
+	}
+	for _, c := range collectOuterColumns(q) {
+		if c.Table != "" {
+			add(c.Table)
+			continue
+		}
+		owners := s.TablesWithColumn(c.Column)
+		if len(owners) == 1 {
+			add(owners[0])
+		}
+	}
+	return out
+}
+
+// collectOuterColumns gathers columns of the outer query only
+// (subqueries repair their own FROM).
+func collectOuterColumns(q *sqlast.Query) []sqlast.ColumnRef {
+	shallow := q.Clone()
+	shallow.Where = stripSubqueries(shallow.Where)
+	shallow.Having = stripSubqueries(shallow.Having)
+	return shallow.Columns()
+}
+
+func stripSubqueries(e sqlast.Expr) sqlast.Expr {
+	switch v := e.(type) {
+	case sqlast.Logic:
+		return sqlast.Logic{Op: v.Op, Left: stripSubqueries(v.Left), Right: stripSubqueries(v.Right)}
+	case sqlast.Not:
+		return sqlast.Not{Inner: stripSubqueries(v.Inner)}
+	case sqlast.InSubquery:
+		// Keep the outer column, drop the subquery.
+		return sqlast.Comparison{Left: v.Col, Op: sqlast.OpEq, Right: sqlast.NumValue(0)}
+	case sqlast.Exists:
+		return sqlast.Comparison{Left: sqlast.ColumnRef{}, Op: sqlast.OpEq, Right: sqlast.NumValue(0)}
+	case sqlast.Comparison:
+		if _, ok := v.Right.(sqlast.ScalarSubquery); ok {
+			return sqlast.Comparison{Left: v.Left, Op: v.Op, Right: sqlast.NumValue(0)}
+		}
+		return v
+	default:
+		return e
+	}
+}
+
+// connectTables sets FROM to the needed tables plus any intermediate
+// tables on the shortest join paths, and appends the join predicates
+// to WHERE.
+func connectTables(q *sqlast.Query, s *schema.Schema, needed []string) error {
+	edges := s.JoinPathAll(needed)
+	if edges == nil {
+		return fmt.Errorf("runtime: tables %v are not connected in schema %s", needed, s.Name)
+	}
+	tables := append([]string{}, needed...)
+	var conds []sqlast.Expr
+	for _, e := range edges {
+		if !containsFold(tables, e.LeftTable) {
+			tables = append(tables, e.LeftTable)
+		}
+		if !containsFold(tables, e.RightTable) {
+			tables = append(tables, e.RightTable)
+		}
+		conds = append(conds, sqlast.Comparison{
+			Left:  sqlast.ColumnRef{Table: e.LeftTable, Column: e.LeftColumn},
+			Op:    sqlast.OpEq,
+			Right: sqlast.ColOperand{Col: sqlast.ColumnRef{Table: e.RightTable, Column: e.RightColumn}},
+		})
+	}
+	q.From = sqlast.From{Tables: tables}
+	if len(conds) > 0 {
+		q.Where = sqlast.AndAll(append(conds, exprOrNil(q.Where)...))
+	}
+	// Qualify ambiguous unqualified columns now that FROM may span
+	// multiple tables.
+	if len(tables) > 1 {
+		qualifyColumns(q, s, tables)
+	}
+	return nil
+}
+
+func exprOrNil(e sqlast.Expr) []sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	return []sqlast.Expr{e}
+}
+
+// qualifyColumns rewrites unqualified column references to their
+// unique owning table among the FROM tables, avoiding ambiguity errors
+// in the engine.
+func qualifyColumns(q *sqlast.Query, s *schema.Schema, tables []string) {
+	// The first FROM owner wins on ambiguity: scan in FROM order and
+	// stop at the first match (deterministic, usually the head table).
+	owner := func(c sqlast.ColumnRef) sqlast.ColumnRef {
+		if c.Table != "" || c.Column == "" || c.Column == "*" {
+			return c
+		}
+		for _, t := range tables {
+			if s.Column(t, c.Column) != nil {
+				return sqlast.ColumnRef{Table: s.Table(t).Name, Column: c.Column}
+			}
+		}
+		return c
+	}
+	for i := range q.Select {
+		if !q.Select[i].Star {
+			q.Select[i].Col = owner(q.Select[i].Col)
+		}
+	}
+	q.Where = mapExprCols(q.Where, owner)
+	for i := range q.GroupBy {
+		q.GroupBy[i] = owner(q.GroupBy[i])
+	}
+	q.Having = mapExprCols(q.Having, owner)
+	for i := range q.OrderBy {
+		if !q.OrderBy[i].Item.Star {
+			q.OrderBy[i].Item.Col = owner(q.OrderBy[i].Item.Col)
+		}
+	}
+}
+
+func mapExprCols(e sqlast.Expr, f func(sqlast.ColumnRef) sqlast.ColumnRef) sqlast.Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case sqlast.Logic:
+		return sqlast.Logic{Op: v.Op, Left: mapExprCols(v.Left, f), Right: mapExprCols(v.Right, f)}
+	case sqlast.Not:
+		return sqlast.Not{Inner: mapExprCols(v.Inner, f)}
+	case sqlast.Comparison:
+		right := v.Right
+		if c, ok := right.(sqlast.ColOperand); ok {
+			right = sqlast.ColOperand{Col: f(c.Col)}
+		}
+		return sqlast.Comparison{Left: f(v.Left), Op: v.Op, Right: right}
+	case sqlast.Between:
+		return sqlast.Between{Col: f(v.Col), Lo: v.Lo, Hi: v.Hi}
+	case sqlast.InSubquery:
+		return sqlast.InSubquery{Col: f(v.Col), Query: v.Query, Negated: v.Negated}
+	case sqlast.HavingCond:
+		item := v.Item
+		if !item.Star {
+			item.Col = f(item.Col)
+		}
+		return sqlast.HavingCond{Item: item, Op: v.Op, Right: v.Right}
+	default:
+		return e
+	}
+}
+
+func containsFold(list []string, x string) bool {
+	for _, v := range list {
+		if strings.EqualFold(v, x) {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupFold(list []string) []string {
+	var out []string
+	for _, v := range list {
+		if !containsFold(out, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,413 @@
+// Package runtime implements DBPal's runtime phase (paper §4): the
+// Parameter Handler that anonymizes constants in the user's NL query
+// using a per-column value index with Jaccard string similarity, the
+// lemmatization pre-processing shared with the training pipeline, and
+// the Post-processor that restores constants, repairs FROM clauses,
+// and resolves the @JOIN placeholder along the shortest join path.
+package runtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/lemma"
+	"repro/internal/models"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+	"repro/internal/tokens"
+)
+
+// Binding records one anonymized constant: the placeholder name it was
+// mapped to and the database-side value substituted at post-processing.
+type Binding struct {
+	Placeholder string // e.g. PATIENTS.AGE (no leading '@')
+	Value       sqlast.Value
+}
+
+// Anonymized is the output of the Parameter Handler.
+type Anonymized struct {
+	Tokens   []string  // NL tokens with constants replaced
+	Bindings []Binding // in order of appearance
+}
+
+// ParameterHandler replaces constants in NL queries with placeholders
+// using an index from values to columns built over the database
+// contents.
+type ParameterHandler struct {
+	Schema *schema.Schema
+	// textIndex maps a lower-cased distinct text value to the columns
+	// holding it.
+	textValues []indexedValue
+	// numColumns maps a numeric value to columns holding it.
+	numValues map[float64][]sqlast.ColumnRef
+	// schemaWords are surface forms of schema elements; spans made of
+	// these are never treated as constants.
+	schemaWords map[string]bool
+	// MinSimilarity is the Jaccard threshold below which a string span
+	// is not considered a database constant.
+	MinSimilarity float64
+}
+
+type indexedValue struct {
+	value   string
+	bigrams map[string]bool // precomputed for Jaccard scoring
+	cols    []sqlast.ColumnRef
+}
+
+// NewParameterHandler builds the value index from the database.
+func NewParameterHandler(db *engine.Database) *ParameterHandler {
+	ph := &ParameterHandler{
+		Schema:        db.Schema,
+		numValues:     map[float64][]sqlast.ColumnRef{},
+		schemaWords:   map[string]bool{},
+		MinSimilarity: 0.55,
+	}
+	textSeen := map[string]int{}
+	for _, t := range db.Schema.Tables {
+		for _, c := range t.Columns {
+			// Key columns are excluded from the value index: users do
+			// not reference surrogate ids, and indexing them would make
+			// every small integer in a question look like a constant.
+			if c.PrimaryKey || strings.EqualFold(c.Name, "id") || strings.HasSuffix(strings.ToLower(c.Name), "_id") {
+				continue
+			}
+			ref := sqlast.ColumnRef{Table: t.Name, Column: c.Name}
+			for _, v := range db.DistinctValues(t.Name, c.Name) {
+				if v.IsNum {
+					ph.numValues[v.Num] = append(ph.numValues[v.Num], ref)
+					continue
+				}
+				key := strings.ToLower(v.Str)
+				if i, ok := textSeen[key]; ok {
+					ph.textValues[i].cols = append(ph.textValues[i].cols, ref)
+					continue
+				}
+				textSeen[key] = len(ph.textValues)
+				ph.textValues = append(ph.textValues, indexedValue{
+					value:   key,
+					bigrams: bigrams(key),
+					cols:    []sqlast.ColumnRef{ref},
+				})
+			}
+		}
+		for _, w := range t.SurfaceForms() {
+			for _, tok := range tokens.Tokenize(w) {
+				ph.schemaWords[lemma.Lemmatize(tok)] = true
+			}
+		}
+		for _, c := range t.Columns {
+			for _, w := range c.SurfaceForms() {
+				for _, tok := range tokens.Tokenize(w) {
+					ph.schemaWords[lemma.Lemmatize(tok)] = true
+				}
+			}
+		}
+	}
+	return ph
+}
+
+// Anonymize replaces constants in the NL question with placeholder
+// tokens: numbers that match indexed column values become @TABLE.COL,
+// and text spans (up to 4 tokens) that are Jaccard-similar to an
+// indexed value become @TABLE.COL bound to the most similar database
+// value (the paper's "replace constants with their most similar value
+// used in the database"). Unmatched numbers stay literal.
+func (ph *ParameterHandler) Anonymize(question string) *Anonymized {
+	toks := tokens.Tokenize(question)
+	out := &Anonymized{}
+	i := 0
+	for i < len(toks) {
+		tok := toks[i]
+		// Pre-anonymized input: pass placeholders through.
+		if tokens.IsPlaceholder(tok) {
+			out.Tokens = append(out.Tokens, tok)
+			i++
+			continue
+		}
+		// Numbers: bind to a column holding the exact value — except
+		// in top-k contexts ("top 3", "first 5"), where the number is
+		// a result count, not a data constant.
+		if n, err := strconv.ParseFloat(tok, 64); err == nil {
+			topK := i > 0 && isTopKWord(toks[i-1])
+			if cols, ok := ph.numValues[n]; ok && len(cols) > 0 && !topK {
+				ref := cols[0]
+				name := placeholderName(ref)
+				out.Tokens = append(out.Tokens, "@"+name)
+				out.Bindings = append(out.Bindings, Binding{Placeholder: name, Value: sqlast.NumValue(n)})
+				i++
+				continue
+			}
+			out.Tokens = append(out.Tokens, tok)
+			i++
+			continue
+		}
+		// Text spans, longest first.
+		matched := false
+		for n := 4; n >= 1 && !matched; n-- {
+			if i+n > len(toks) {
+				continue
+			}
+			span := toks[i : i+n]
+			if ph.allSchemaWords(span) || containsNumberOrPlaceholder(span) {
+				continue
+			}
+			phrase := strings.Join(span, " ")
+			ref, dbValue, sim := ph.bestTextMatch(phrase)
+			if sim < ph.MinSimilarity {
+				continue
+			}
+			name := placeholderName(ref)
+			out.Tokens = append(out.Tokens, "@"+name)
+			out.Bindings = append(out.Bindings, Binding{Placeholder: name, Value: sqlast.StrValue(dbValue)})
+			i += n
+			matched = true
+		}
+		if !matched {
+			out.Tokens = append(out.Tokens, tok)
+			i++
+		}
+	}
+	return out
+}
+
+// isTopKWord reports whether a token introduces a result-count number.
+func isTopKWord(tok string) bool {
+	switch lemma.Lemmatize(strings.ToLower(tok)) {
+	case "top", "first", "last", "bottom", "limit":
+		return true
+	}
+	return false
+}
+
+// allSchemaWords reports whether every token of the span is a schema
+// surface word (so the span cannot be a constant).
+func (ph *ParameterHandler) allSchemaWords(span []string) bool {
+	for _, t := range span {
+		if !ph.schemaWords[lemma.Lemmatize(t)] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsNumberOrPlaceholder(span []string) bool {
+	for _, t := range span {
+		if tokens.IsPlaceholder(t) {
+			return true
+		}
+		if _, err := strconv.ParseFloat(t, 64); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// bestTextMatch finds the indexed text value most similar to the
+// phrase (character-bigram Jaccard).
+func (ph *ParameterHandler) bestTextMatch(phrase string) (sqlast.ColumnRef, string, float64) {
+	var bestRef sqlast.ColumnRef
+	bestVal := ""
+	bestSim := 0.0
+	p := strings.ToLower(phrase)
+	pb := bigrams(p)
+	for _, iv := range ph.textValues {
+		sim := jaccardSets(pb, iv.bigrams)
+		if sim > bestSim {
+			bestSim = sim
+			bestVal = iv.value
+			bestRef = iv.cols[0]
+		}
+	}
+	return bestRef, bestVal, bestSim
+}
+
+// Jaccard computes the Jaccard index of the character-bigram sets of a
+// and b (1.0 for identical strings).
+func Jaccard(a, b string) float64 {
+	if a == b {
+		return 1
+	}
+	return jaccardSets(bigrams(a), bigrams(b))
+}
+
+func jaccardSets(sa, sb map[string]bool) float64 {
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	if len(sb) < len(sa) {
+		sa, sb = sb, sa
+	}
+	inter := 0
+	for g := range sa {
+		if sb[g] {
+			inter++
+		}
+	}
+	union := len(sa) + len(sb) - inter
+	if inter == len(sa) && inter == len(sb) {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func bigrams(s string) map[string]bool {
+	out := map[string]bool{}
+	r := []rune(s)
+	if len(r) == 1 {
+		out[string(r)] = true
+	}
+	for i := 0; i+1 < len(r); i++ {
+		out[string(r[i:i+2])] = true
+	}
+	return out
+}
+
+// placeholderName renders TABLE.COL (upper case, no '@').
+func placeholderName(ref sqlast.ColumnRef) string {
+	return strings.ToUpper(ref.Table) + "." + strings.ToUpper(ref.Column)
+}
+
+// KTranslator is the optional contract for models that can propose
+// ranked alternative translations; the runtime's execution-guided mode
+// uses it to recover when the top candidate fails post-processing or
+// execution. Both bundled models implement it (beam search for the
+// seq2seq, top-k sketches for the sketch model).
+type KTranslator interface {
+	TranslateK(nl, schemaToks []string, k int) [][]string
+}
+
+// Translator is the end-to-end runtime of Figure 1: pre-processing
+// (Parameter Handler + Lemmatizer), neural translation, and
+// post-processing (constant restoration + SQL repair), backed by the
+// execution engine for result delivery.
+type Translator struct {
+	DB     *engine.Database
+	Model  models.Translator
+	PH     *ParameterHandler
+	schema []string
+	// ExecutionGuided, when > 1 and the model implements KTranslator,
+	// makes Translate consider up to that many ranked candidates and
+	// return the first that survives post-processing and executes.
+	ExecutionGuided int
+}
+
+// NewTranslator wires a trained model to a database.
+func NewTranslator(db *engine.Database, model models.Translator) *Translator {
+	return &Translator{
+		DB:     db,
+		Model:  model,
+		PH:     NewParameterHandler(db),
+		schema: models.SchemaTokens(db.Schema),
+	}
+}
+
+// Trace records every stage of one translation (the lifecycle of the
+// paper's Figure 1), for demos and debugging.
+type Trace struct {
+	Question   string
+	Anonymized []string  // after the Parameter Handler
+	Bindings   []Binding // constants it extracted
+	Lemmatized []string  // after the Lemmatizer
+	ModelOut   []string  // raw Neural Translator output tokens
+	Final      *sqlast.Query
+}
+
+// String renders the trace as an indented lifecycle report.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "question:   %s\n", t.Question)
+	fmt.Fprintf(&b, "anonymized: %s\n", strings.Join(t.Anonymized, " "))
+	for _, bd := range t.Bindings {
+		fmt.Fprintf(&b, "  constant: @%s = %s\n", bd.Placeholder, bd.Value)
+	}
+	fmt.Fprintf(&b, "lemmatized: %s\n", strings.Join(t.Lemmatized, " "))
+	fmt.Fprintf(&b, "model out:  %s\n", strings.Join(t.ModelOut, " "))
+	if t.Final != nil {
+		fmt.Fprintf(&b, "final SQL:  %s", t.Final)
+	}
+	return b.String()
+}
+
+// Translate maps an NL question to an executable SQL query.
+func (tr *Translator) Translate(question string) (*sqlast.Query, error) {
+	q, _, err := tr.TranslateTrace(question)
+	return q, err
+}
+
+// TranslateTrace translates and returns the full lifecycle trace; the
+// trace is non-nil even on error, holding the stages that completed.
+func (tr *Translator) TranslateTrace(question string) (*sqlast.Query, *Trace, error) {
+	trace := &Trace{Question: question}
+	anon := tr.PH.Anonymize(question)
+	trace.Anonymized = anon.Tokens
+	trace.Bindings = anon.Bindings
+	nl := lemma.LemmatizeAll(anon.Tokens)
+	trace.Lemmatized = nl
+
+	candidates := tr.candidates(nl)
+	if len(candidates) == 0 {
+		return nil, trace, fmt.Errorf("runtime: model produced no output for %q", question)
+	}
+	var firstErr error
+	for i, sqlToks := range candidates {
+		if i == 0 {
+			trace.ModelOut = sqlToks
+		}
+		q, err := sqlast.ParseTokens(sqlToks)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("runtime: model output unparsable (%q): %w", strings.Join(sqlToks, " "), err)
+			}
+			continue
+		}
+		q, err = PostProcess(q, tr.DB.Schema, anon.Bindings)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// In execution-guided mode a candidate must also execute.
+		if len(candidates) > 1 {
+			if _, err := tr.DB.Execute(q); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("runtime: candidate does not execute: %w", err)
+				}
+				continue
+			}
+		}
+		trace.Final = q
+		return q, trace, nil
+	}
+	return nil, trace, firstErr
+}
+
+// candidates returns the ranked model outputs to try: one (plain mode)
+// or up to ExecutionGuided many when the model supports alternatives.
+func (tr *Translator) candidates(nl []string) [][]string {
+	if tr.ExecutionGuided > 1 {
+		if kt, ok := tr.Model.(KTranslator); ok {
+			return kt.TranslateK(nl, tr.schema, tr.ExecutionGuided)
+		}
+	}
+	out := tr.Model.Translate(nl, tr.schema)
+	if len(out) == 0 {
+		return nil
+	}
+	return [][]string{out}
+}
+
+// Ask translates and executes, returning the tabular result.
+func (tr *Translator) Ask(question string) (*engine.Result, *sqlast.Query, error) {
+	q, err := tr.Translate(question)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := tr.DB.Execute(q)
+	if err != nil {
+		return nil, q, fmt.Errorf("runtime: executing %q: %w", q, err)
+	}
+	return res, q, nil
+}

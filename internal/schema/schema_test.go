@@ -1,0 +1,196 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func hospital() *Schema {
+	return &Schema{
+		Name: "hospital",
+		Tables: []*Table{
+			{Name: "patients", Readable: "patient", Columns: []*Column{
+				{Name: "id", Type: Number, PrimaryKey: true},
+				{Name: "name", Type: Text},
+				{Name: "age", Type: Number, Domain: DomainAge},
+			}},
+			{Name: "doctors", Readable: "doctor", Columns: []*Column{
+				{Name: "id", Type: Number, PrimaryKey: true},
+				{Name: "name", Type: Text},
+			}},
+			{Name: "visits", Readable: "visit", Columns: []*Column{
+				{Name: "id", Type: Number, PrimaryKey: true},
+				{Name: "patient_id", Type: Number},
+				{Name: "doctor_id", Type: Number},
+			}},
+		},
+		ForeignKeys: []ForeignKey{
+			{FromTable: "visits", FromColumn: "patient_id", ToTable: "patients", ToColumn: "id"},
+			{FromTable: "visits", FromColumn: "doctor_id", ToTable: "doctors", ToColumn: "id"},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := hospital().Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Schema)
+		want string
+	}{
+		{"no name", func(s *Schema) { s.Name = "" }, "no name"},
+		{"no tables", func(s *Schema) { s.Tables = nil }, "no tables"},
+		{"dup table", func(s *Schema) { s.Tables = append(s.Tables, s.Tables[0]) }, "duplicate table"},
+		{"empty table name", func(s *Schema) { s.Tables[0].Name = "" }, "empty name"},
+		{"no columns", func(s *Schema) { s.Tables[0].Columns = nil }, "no columns"},
+		{"dup column", func(s *Schema) {
+			s.Tables[0].Columns = append(s.Tables[0].Columns, s.Tables[0].Columns[0])
+		}, "duplicate column"},
+		{"bad fk from", func(s *Schema) { s.ForeignKeys[0].FromColumn = "nope" }, "unknown column"},
+		{"bad fk to", func(s *Schema) { s.ForeignKeys[0].ToTable = "nope" }, "unknown column"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := hospital()
+			tc.mut(s)
+			err := s.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLookups(t *testing.T) {
+	s := hospital()
+	if s.Table("PATIENTS") == nil {
+		t.Fatal("table lookup should be case-insensitive")
+	}
+	if s.Table("nope") != nil {
+		t.Fatal("unknown table should be nil")
+	}
+	if s.Column("patients", "AGE") == nil {
+		t.Fatal("column lookup should be case-insensitive")
+	}
+	if s.Column("patients", "salary") != nil {
+		t.Fatal("unknown column should be nil")
+	}
+	owners := s.TablesWithColumn("name")
+	if len(owners) != 2 || owners[0] != "patients" || owners[1] != "doctors" {
+		t.Fatalf("TablesWithColumn(name) = %v", owners)
+	}
+	if got := s.TablesWithColumn("patient_id"); len(got) != 1 || got[0] != "visits" {
+		t.Fatalf("TablesWithColumn(patient_id) = %v", got)
+	}
+}
+
+func TestSurfaceForms(t *testing.T) {
+	c := &Column{Name: "length_of_stay", Synonyms: []string{"stay"}}
+	if got := c.ReadableName(); got != "length of stay" {
+		t.Fatalf("ReadableName = %q", got)
+	}
+	forms := c.SurfaceForms()
+	if len(forms) != 2 || forms[0] != "length of stay" || forms[1] != "stay" {
+		t.Fatalf("SurfaceForms = %v", forms)
+	}
+	c.Readable = "duration"
+	if got := c.ReadableName(); got != "duration" {
+		t.Fatalf("annotated ReadableName = %q", got)
+	}
+}
+
+func TestJoinPathDirect(t *testing.T) {
+	s := hospital()
+	p := s.JoinPath("visits", "patients")
+	if len(p) != 1 {
+		t.Fatalf("JoinPath(visits, patients) = %v", p)
+	}
+	e := p[0]
+	if e.LeftTable != "visits" || e.LeftColumn != "patient_id" || e.RightTable != "patients" || e.RightColumn != "id" {
+		t.Fatalf("edge = %+v", e)
+	}
+}
+
+func TestJoinPathTwoHops(t *testing.T) {
+	s := hospital()
+	p := s.JoinPath("patients", "doctors")
+	if len(p) != 2 {
+		t.Fatalf("expected 2-hop path, got %v", p)
+	}
+	if !strings.EqualFold(p[0].RightTable, "visits") {
+		t.Fatalf("path should go through visits: %v", p)
+	}
+}
+
+func TestJoinPathSameTable(t *testing.T) {
+	s := hospital()
+	p := s.JoinPath("patients", "patients")
+	if p == nil || len(p) != 0 {
+		t.Fatalf("self path should be empty non-nil, got %v", p)
+	}
+}
+
+func TestJoinPathDisconnected(t *testing.T) {
+	s := hospital()
+	s.Tables = append(s.Tables, &Table{Name: "island", Columns: []*Column{{Name: "id", Type: Number}}})
+	if p := s.JoinPath("patients", "island"); p != nil {
+		t.Fatalf("disconnected tables should yield nil, got %v", p)
+	}
+	if s.Connected() {
+		t.Fatal("schema with island table should not be connected")
+	}
+}
+
+func TestJoinPathAll(t *testing.T) {
+	s := hospital()
+	edges := s.JoinPathAll([]string{"patients", "doctors"})
+	if len(edges) != 2 {
+		t.Fatalf("steiner join of patients+doctors should need 2 edges, got %v", edges)
+	}
+	if edges2 := s.JoinPathAll([]string{"patients"}); len(edges2) != 0 {
+		t.Fatalf("single table needs no edges, got %v", edges2)
+	}
+	if edges3 := s.JoinPathAll([]string{"patients", "visits", "doctors"}); len(edges3) != 2 {
+		t.Fatalf("all three tables connect with 2 edges, got %v", edges3)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !hospital().Connected() {
+		t.Fatal("hospital schema should be connected")
+	}
+}
+
+// Property: join paths are symmetric in length.
+func TestJoinPathSymmetryQuick(t *testing.T) {
+	s := hospital()
+	names := []string{"patients", "doctors", "visits"}
+	f := func(a, b uint8) bool {
+		from := names[int(a)%len(names)]
+		to := names[int(b)%len(names)]
+		p1 := s.JoinPath(from, to)
+		p2 := s.JoinPath(to, from)
+		return len(p1) == len(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	out := hospital().String()
+	for _, want := range []string{"SCHEMA hospital", "TABLE patients", "age NUMBER", "FK visits.patient_id -> patients.id"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

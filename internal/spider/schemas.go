@@ -1,0 +1,365 @@
+package spider
+
+import "repro/internal/schema"
+
+// col is a compact column constructor.
+func col(name string, t schema.ColumnType, opts ...func(*schema.Column)) *schema.Column {
+	c := &schema.Column{Name: name, Type: t}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+func pk() func(*schema.Column)                 { return func(c *schema.Column) { c.PrimaryKey = true } }
+func dom(d schema.Domain) func(*schema.Column) { return func(c *schema.Column) { c.Domain = d } }
+func read(r string) func(*schema.Column)       { return func(c *schema.Column) { c.Readable = r } }
+
+// zoo is the cross-domain schema collection standing in for Spider's
+// 200 databases over 138 domains. The first TrainSchemaCount schemas
+// form the training split; the rest (including geo, the GeoQuery
+// stand-in) are the test split. Train and test schemas are disjoint,
+// matching Spider's defining property.
+var zoo = []*schema.Schema{
+	{
+		Name: "flights",
+		Tables: []*schema.Table{
+			{Name: "airlines", Readable: "airline", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("country", schema.Text), col("fleet_size", schema.Number),
+			}},
+			{Name: "airports", Readable: "airport", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("city", schema.Text), col("elevation", schema.Number, dom(schema.DomainHeight)),
+			}},
+			{Name: "flights", Readable: "flight", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("airline_id", schema.Number),
+				col("origin_id", schema.Number), col("distance", schema.Number, dom(schema.DomainLength)),
+				col("price", schema.Number, dom(schema.DomainMoney)),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "flights", FromColumn: "airline_id", ToTable: "airlines", ToColumn: "id"},
+			{FromTable: "flights", FromColumn: "origin_id", ToTable: "airports", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "college",
+		Tables: []*schema.Table{
+			{Name: "departments", Readable: "department", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("budget", schema.Number, dom(schema.DomainMoney)),
+			}},
+			{Name: "students", Readable: "student", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("age", schema.Number, dom(schema.DomainAge)),
+				col("gpa", schema.Number), col("department_id", schema.Number),
+			}},
+			{Name: "courses", Readable: "course", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("title", schema.Text),
+				col("credits", schema.Number), col("department_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "students", FromColumn: "department_id", ToTable: "departments", ToColumn: "id"},
+			{FromTable: "courses", FromColumn: "department_id", ToTable: "departments", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "concerts",
+		Tables: []*schema.Table{
+			{Name: "singers", Readable: "singer", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("age", schema.Number, dom(schema.DomainAge)), col("country", schema.Text),
+			}},
+			{Name: "stadiums", Readable: "stadium", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("capacity", schema.Number, dom(schema.DomainCount)), col("city", schema.Text),
+			}},
+			{Name: "concerts", Readable: "concert", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("singer_id", schema.Number),
+				col("stadium_id", schema.Number), col("attendance", schema.Number, dom(schema.DomainCount)),
+				col("year", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "concerts", FromColumn: "singer_id", ToTable: "singers", ToColumn: "id"},
+			{FromTable: "concerts", FromColumn: "stadium_id", ToTable: "stadiums", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "employees",
+		Tables: []*schema.Table{
+			{Name: "companies", Readable: "company", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("industry", schema.Text), col("revenue", schema.Number, dom(schema.DomainMoney)),
+			}},
+			{Name: "employees", Readable: "employee", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("age", schema.Number, dom(schema.DomainAge)),
+				col("salary", schema.Number, dom(schema.DomainMoney)),
+				col("company_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "employees", FromColumn: "company_id", ToTable: "companies", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "cars",
+		Tables: []*schema.Table{
+			{Name: "makers", Readable: "maker", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text), col("country", schema.Text),
+			}},
+			{Name: "cars", Readable: "car", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("model", schema.Text),
+				col("horsepower", schema.Number), col("weight", schema.Number, dom(schema.DomainWeight)),
+				col("price", schema.Number, dom(schema.DomainMoney)), col("maker_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "cars", FromColumn: "maker_id", ToTable: "makers", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "shops",
+		Tables: []*schema.Table{
+			{Name: "shops", Readable: "shop", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("city", schema.Text), col("score", schema.Number),
+			}},
+			{Name: "products", Readable: "product", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("price", schema.Number, dom(schema.DomainMoney)), col("shop_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "products", FromColumn: "shop_id", ToTable: "shops", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "music",
+		Tables: []*schema.Table{
+			{Name: "artists", Readable: "artist", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text), col("genre", schema.Text),
+			}},
+			{Name: "albums", Readable: "album", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("title", schema.Text),
+				col("year", schema.Number), col("artist_id", schema.Number),
+			}},
+			{Name: "songs", Readable: "song", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("title", schema.Text),
+				col("duration", schema.Number, dom(schema.DomainDuration)), col("album_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "albums", FromColumn: "artist_id", ToTable: "artists", ToColumn: "id"},
+			{FromTable: "songs", FromColumn: "album_id", ToTable: "albums", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "library",
+		Tables: []*schema.Table{
+			{Name: "authors", Readable: "author", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text), col("nationality", schema.Text),
+			}},
+			{Name: "books", Readable: "book", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("title", schema.Text),
+				col("pages", schema.Number, dom(schema.DomainCount)),
+				col("year", schema.Number), col("author_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "books", FromColumn: "author_id", ToTable: "authors", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "restaurants",
+		Tables: []*schema.Table{
+			{Name: "restaurants", Readable: "restaurant", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("city", schema.Text), col("rating", schema.Number),
+			}},
+			{Name: "dishes", Readable: "dish", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("price", schema.Number, dom(schema.DomainMoney)), col("restaurant_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "dishes", FromColumn: "restaurant_id", ToTable: "restaurants", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "movies",
+		Tables: []*schema.Table{
+			{Name: "directors", Readable: "director", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text), col("country", schema.Text),
+			}},
+			{Name: "movies", Readable: "movie", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("title", schema.Text),
+				col("year", schema.Number), col("gross", schema.Number, dom(schema.DomainMoney)),
+				col("director_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "movies", FromColumn: "director_id", ToTable: "directors", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "sports",
+		Tables: []*schema.Table{
+			{Name: "teams", Readable: "team", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text), col("city", schema.Text),
+			}},
+			{Name: "players", Readable: "player", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("age", schema.Number, dom(schema.DomainAge)),
+				col("salary", schema.Number, dom(schema.DomainMoney)),
+				col("team_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "players", FromColumn: "team_id", ToTable: "teams", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "farming",
+		Tables: []*schema.Table{
+			{Name: "farms", Readable: "farm", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("area", schema.Number, dom(schema.DomainArea)), col("region", schema.Text),
+			}},
+			{Name: "crops", Readable: "crop", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("yield", schema.Number), col("farm_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "crops", FromColumn: "farm_id", ToTable: "farms", ToColumn: "id"},
+		},
+	},
+	// ------------------------- test split -------------------------
+	{
+		Name: "geo",
+		Tables: []*schema.Table{
+			{Name: "states", Readable: "state", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("population", schema.Number, dom(schema.DomainCount)),
+				col("area", schema.Number, dom(schema.DomainArea)),
+				col("capital", schema.Text),
+			}},
+			{Name: "cities", Readable: "city", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("population", schema.Number, dom(schema.DomainCount)),
+				col("state_id", schema.Number),
+			}},
+			{Name: "mountains", Readable: "mountain", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("height", schema.Number, dom(schema.DomainHeight)),
+				col("state_id", schema.Number),
+			}},
+			{Name: "rivers", Readable: "river", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("length", schema.Number, dom(schema.DomainLength)),
+				col("state_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "cities", FromColumn: "state_id", ToTable: "states", ToColumn: "id"},
+			{FromTable: "mountains", FromColumn: "state_id", ToTable: "states", ToColumn: "id"},
+			{FromTable: "rivers", FromColumn: "state_id", ToTable: "states", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "hotels",
+		Tables: []*schema.Table{
+			{Name: "hotels", Readable: "hotel", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("city", schema.Text), col("stars", schema.Number),
+			}},
+			{Name: "bookings", Readable: "booking", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("guest_name", schema.Text, read("guest name")),
+				col("nights", schema.Number, dom(schema.DomainDuration)),
+				col("price", schema.Number, dom(schema.DomainMoney)),
+				col("hotel_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "bookings", FromColumn: "hotel_id", ToTable: "hotels", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "elections",
+		Tables: []*schema.Table{
+			{Name: "parties", Readable: "party", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text), col("ideology", schema.Text),
+			}},
+			{Name: "candidates", Readable: "candidate", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("age", schema.Number, dom(schema.DomainAge)),
+				col("votes", schema.Number, dom(schema.DomainCount)),
+				col("party_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "candidates", FromColumn: "party_id", ToTable: "parties", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "pets",
+		Tables: []*schema.Table{
+			{Name: "owners", Readable: "owner", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("age", schema.Number, dom(schema.DomainAge)), col("city", schema.Text),
+			}},
+			{Name: "pets", Readable: "pet", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("species", schema.Text), col("weight", schema.Number, dom(schema.DomainWeight)),
+				col("owner_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "pets", FromColumn: "owner_id", ToTable: "owners", ToColumn: "id"},
+		},
+	},
+	{
+		Name: "museums",
+		Tables: []*schema.Table{
+			{Name: "museums", Readable: "museum", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("name", schema.Text),
+				col("city", schema.Text), col("visitors", schema.Number, dom(schema.DomainCount)),
+			}},
+			{Name: "exhibits", Readable: "exhibit", Columns: []*schema.Column{
+				col("id", schema.Number, pk()), col("title", schema.Text),
+				col("year", schema.Number), col("museum_id", schema.Number),
+			}},
+		},
+		ForeignKeys: []schema.ForeignKey{
+			{FromTable: "exhibits", FromColumn: "museum_id", ToTable: "museums", ToColumn: "id"},
+		},
+	},
+}
+
+// TrainSchemaCount is the number of leading zoo schemas forming the
+// training split.
+const TrainSchemaCount = 12
+
+// TrainSchemas returns the training-split schemas.
+func TrainSchemas() []*schema.Schema { return zoo[:TrainSchemaCount] }
+
+// TestSchemas returns the test-split schemas (disjoint from training,
+// including the geo domain used as the hyperopt tuning workload).
+func TestSchemas() []*schema.Schema { return zoo[TrainSchemaCount:] }
+
+// AllSchemas returns the full zoo.
+func AllSchemas() []*schema.Schema { return zoo }
+
+// SchemaByName finds a zoo schema.
+func SchemaByName(name string) *schema.Schema {
+	for _, s := range zoo {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}

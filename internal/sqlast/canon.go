@@ -1,0 +1,111 @@
+package sqlast
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonical returns a normalized rendering of the query used for
+// exact-match accuracy (the Spider-style metric): identifiers and
+// placeholders are case-folded, top-level AND conjuncts of WHERE and
+// HAVING are sorted, select/group/order lists keep their order (it is
+// semantically significant), and ASC markers are implied. Two queries
+// are "exact match equal" iff their Canonical strings are equal.
+func (q *Query) Canonical() string {
+	c := q.Clone()
+	canonQuery(c)
+	return c.String()
+}
+
+// EqualCanonical reports whether two queries are equal under Canonical
+// normalization. Either may be nil.
+func EqualCanonical(a, b *Query) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Canonical() == b.Canonical()
+}
+
+func canonQuery(q *Query) {
+	for i := range q.Select {
+		q.Select[i].Col = canonCol(q.Select[i].Col)
+	}
+	for i, t := range q.From.Tables {
+		q.From.Tables[i] = strings.ToLower(t)
+	}
+	sort.Strings(q.From.Tables)
+	q.Where = canonExpr(q.Where)
+	q.Where = sortConjuncts(q.Where)
+	for i := range q.GroupBy {
+		q.GroupBy[i] = canonCol(q.GroupBy[i])
+	}
+	q.Having = canonExpr(q.Having)
+	q.Having = sortConjuncts(q.Having)
+	for i := range q.OrderBy {
+		q.OrderBy[i].Item.Col = canonCol(q.OrderBy[i].Item.Col)
+	}
+}
+
+func canonCol(c ColumnRef) ColumnRef {
+	return ColumnRef{Table: strings.ToLower(c.Table), Column: strings.ToLower(c.Column)}
+}
+
+func canonExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case Logic:
+		return Logic{Op: v.Op, Left: canonExpr(v.Left), Right: canonExpr(v.Right)}
+	case Not:
+		return Not{Inner: canonExpr(v.Inner)}
+	case Comparison:
+		return Comparison{Left: canonCol(v.Left), Op: v.Op, Right: canonOperand(v.Right)}
+	case Between:
+		return Between{Col: canonCol(v.Col), Lo: canonOperand(v.Lo), Hi: canonOperand(v.Hi)}
+	case InSubquery:
+		sub := v.Query.Clone()
+		canonQuery(sub)
+		return InSubquery{Col: canonCol(v.Col), Query: sub, Negated: v.Negated}
+	case Exists:
+		sub := v.Query.Clone()
+		canonQuery(sub)
+		return Exists{Query: sub, Negated: v.Negated}
+	case HavingCond:
+		item := v.Item
+		item.Col = canonCol(item.Col)
+		return HavingCond{Item: item, Op: v.Op, Right: canonOperand(v.Right)}
+	default:
+		return e
+	}
+}
+
+func canonOperand(o Operand) Operand {
+	switch v := o.(type) {
+	case Placeholder:
+		return Placeholder{Name: strings.ToUpper(v.Name)}
+	case ColOperand:
+		return ColOperand{Col: canonCol(v.Col)}
+	case ScalarSubquery:
+		sub := v.Query.Clone()
+		canonQuery(sub)
+		return ScalarSubquery{Query: sub}
+	default:
+		return o
+	}
+}
+
+// sortConjuncts sorts top-level AND conjuncts by their rendering so
+// that "a AND b" equals "b AND a" under canonical comparison.
+func sortConjuncts(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	parts := Conjuncts(e)
+	if len(parts) <= 1 {
+		return e
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		return parts[i].String() < parts[j].String()
+	})
+	return AndAll(parts)
+}

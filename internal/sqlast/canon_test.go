@@ -1,0 +1,84 @@
+package sqlast
+
+import "testing"
+
+func TestCanonicalCaseFolding(t *testing.T) {
+	a := MustParse("SELECT Name FROM Patients WHERE AGE = @patients.age")
+	b := MustParse("select name from patients where age = @PATIENTS.AGE")
+	if !EqualCanonical(a, b) {
+		t.Fatalf("case variants should be canonically equal:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+}
+
+func TestCanonicalConjunctOrder(t *testing.T) {
+	a := MustParse("SELECT a FROM t WHERE x = 1 AND y = 2")
+	b := MustParse("SELECT a FROM t WHERE y = 2 AND x = 1")
+	if !EqualCanonical(a, b) {
+		t.Fatal("AND conjunct order should not matter")
+	}
+	// OR order is preserved inside the leaf, so a different OR layout
+	// is a different canonical form only if the leaf text differs.
+	c := MustParse("SELECT a FROM t WHERE x = 1 OR y = 2")
+	d := MustParse("SELECT a FROM t WHERE y = 2 OR x = 1")
+	if EqualCanonical(c, d) {
+		t.Fatal("OR leaves render in order; different orders should differ")
+	}
+}
+
+func TestCanonicalSelectOrderMatters(t *testing.T) {
+	a := MustParse("SELECT a, b FROM t")
+	b := MustParse("SELECT b, a FROM t")
+	if EqualCanonical(a, b) {
+		t.Fatal("projection order is semantically significant")
+	}
+}
+
+func TestCanonicalFromOrder(t *testing.T) {
+	a := MustParse("SELECT x FROM t, u WHERE t.id = u.tid")
+	b := MustParse("SELECT x FROM u, t WHERE t.id = u.tid")
+	if !EqualCanonical(a, b) {
+		t.Fatal("FROM table order should not matter")
+	}
+}
+
+func TestCanonicalSubquery(t *testing.T) {
+	a := MustParse("SELECT a FROM t WHERE n = (SELECT MAX(N) FROM T WHERE x = 1 AND y = 2)")
+	b := MustParse("SELECT a FROM t WHERE n = (SELECT max(n) FROM t WHERE y = 2 AND x = 1)")
+	if !EqualCanonical(a, b) {
+		t.Fatal("subquery canonicalization failed")
+	}
+}
+
+func TestCanonicalNilSafety(t *testing.T) {
+	if !EqualCanonical(nil, nil) {
+		t.Fatal("nil == nil")
+	}
+	if EqualCanonical(nil, MustParse("SELECT a FROM t")) {
+		t.Fatal("nil != query")
+	}
+}
+
+func TestCanonicalDoesNotMutate(t *testing.T) {
+	q := MustParse("SELECT A FROM T WHERE Y = 2 AND X = 1")
+	before := q.String()
+	_ = q.Canonical()
+	if q.String() != before {
+		t.Fatal("Canonical mutated the receiver")
+	}
+}
+
+func TestCanonicalSemanticDifferencePreserved(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"},
+		{"SELECT a FROM t WHERE x > 1", "SELECT a FROM t WHERE x >= 1"},
+		{"SELECT a FROM t", "SELECT DISTINCT a FROM t"},
+		{"SELECT a FROM t ORDER BY b ASC", "SELECT a FROM t ORDER BY b DESC"},
+		{"SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 2"},
+		{"SELECT COUNT(a) FROM t", "SELECT COUNT(DISTINCT a) FROM t"},
+	}
+	for _, p := range pairs {
+		if EqualCanonical(MustParse(p[0]), MustParse(p[1])) {
+			t.Errorf("%q and %q must not be canonically equal", p[0], p[1])
+		}
+	}
+}

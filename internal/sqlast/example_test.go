@@ -1,0 +1,39 @@
+package sqlast_test
+
+import (
+	"fmt"
+
+	"repro/internal/sqlast"
+)
+
+func ExampleParse() {
+	q, err := sqlast.Parse("select name from patients where age = @PATIENTS.AGE")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(q)
+	// Output: SELECT name FROM patients WHERE age = @PATIENTS.AGE
+}
+
+func ExampleQuery_Pattern() {
+	a := sqlast.MustParse("SELECT name FROM patients WHERE age = 80")
+	b := sqlast.MustParse("SELECT title FROM books WHERE pages = @BOOKS.PAGES")
+	fmt.Println(a.Pattern())
+	fmt.Println(a.Pattern() == b.Pattern())
+	// Output:
+	// SELECT C FROM T WHERE C = @V
+	// true
+}
+
+func ExampleQuery_Canonical() {
+	a := sqlast.MustParse("SELECT a FROM t WHERE x = 1 AND y = 2")
+	b := sqlast.MustParse("select A from T where Y = 2 and X = 1")
+	fmt.Println(sqlast.EqualCanonical(a, b))
+	// Output: true
+}
+
+func ExampleQueryDifficulty() {
+	q := sqlast.MustParse("SELECT name FROM mountains WHERE height = (SELECT MAX(height) FROM mountains WHERE state = @STATES.NAME)")
+	fmt.Println(sqlast.QueryDifficulty(q))
+	// Output: Very Hard
+}

@@ -1,0 +1,77 @@
+package sqlast_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/patients"
+	"repro/internal/spider"
+	"repro/internal/sqlast"
+)
+
+// TestSpiderGoldRoundTrip fuzzes the parser/printer with every gold
+// query of a synthetic Spider build: parse -> print -> parse must be a
+// canonical fixed point, and token linearization must round-trip.
+func TestSpiderGoldRoundTrip(t *testing.T) {
+	d := spider.Build(spider.Config{TrainPerSchema: 60, TestPerSchema: 40, Seed: 21})
+	all := append(append([]spider.Question{}, d.Train...), d.Test...)
+	for _, q := range all {
+		p1, err := sqlast.Parse(q.SQL)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q.SQL, err)
+		}
+		p2, err := sqlast.Parse(p1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p1.String(), err)
+		}
+		if !sqlast.EqualCanonical(p1, p2) {
+			t.Fatalf("print/parse not a fixed point for %q", q.SQL)
+		}
+		p3, err := sqlast.ParseTokens(p1.Tokens())
+		if err != nil {
+			t.Fatalf("token roundtrip %q: %v", q.SQL, err)
+		}
+		if !sqlast.EqualCanonical(p1, p3) {
+			t.Fatalf("token roundtrip changed semantics for %q", q.SQL)
+		}
+	}
+}
+
+// TestPipelineGoldRoundTrip does the same over a DBPal-generated
+// corpus (placeholders, @JOIN, nested templates).
+func TestPipelineGoldRoundTrip(t *testing.T) {
+	p := core.New(patients.Schema(), core.DefaultParams(), 31)
+	pairs := p.Run()
+	if len(pairs) > 3000 {
+		pairs = pairs[:3000]
+	}
+	for _, pr := range pairs {
+		q, err := sqlast.Parse(pr.SQL)
+		if err != nil {
+			t.Fatalf("parse %q: %v", pr.SQL, err)
+		}
+		q2, err := sqlast.ParseTokens(q.Tokens())
+		if err != nil {
+			t.Fatalf("token roundtrip %q: %v", pr.SQL, err)
+		}
+		if !sqlast.EqualCanonical(q, q2) {
+			t.Fatalf("roundtrip changed semantics for %q", pr.SQL)
+		}
+	}
+}
+
+// TestPatientsGoldPatternsStable pins the pattern signatures of a few
+// benchmark queries so accidental pattern-definition changes surface.
+func TestPatientsGoldPatternsStable(t *testing.T) {
+	cases := map[string]string{
+		"SELECT * FROM patients WHERE age = 80":                       "SELECT * FROM T WHERE C = @V",
+		"SELECT COUNT(*) FROM patients":                               "SELECT COUNT(*) FROM T",
+		"SELECT name FROM patients ORDER BY age DESC LIMIT 1":         "SELECT C FROM T ORDER BY C DESC LIMIT 1",
+		"SELECT diagnosis, COUNT(*) FROM patients GROUP BY diagnosis": "SELECT C, COUNT(*) FROM T GROUP BY C",
+	}
+	for sql, want := range cases {
+		if got := sqlast.MustParse(sql).Pattern(); got != want {
+			t.Errorf("Pattern(%q) = %q, want %q", sql, got, want)
+		}
+	}
+}

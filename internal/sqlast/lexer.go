@@ -1,0 +1,142 @@
+package sqlast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPlaceholder // @NAME or @TABLE.COL
+	tokSymbol      // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifier (original case), symbol, number text, or string contents
+	num  float64
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return "'" + t.text + "'"
+	default:
+		return t.text
+	}
+}
+
+// lexError reports a lexing failure with byte position.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sql lex error at %d: %s", e.pos, e.msg)
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lex tokenizes the input SQL text.
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	n := len(runes)
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '@':
+			start := i
+			i++
+			if i >= n || !isIdentStart(runes[i]) {
+				return nil, &lexError{pos: start, msg: "'@' must be followed by a name"}
+			}
+			for i < n && isIdentPart(runes[i]) {
+				i++
+			}
+			// Optional ".part" suffixes: @DOCTOR.NAME
+			for i+1 < n && runes[i] == '.' && isIdentStart(runes[i+1]) {
+				i++
+				for i < n && isIdentPart(runes[i]) {
+					i++
+				}
+			}
+			toks = append(toks, token{kind: tokPlaceholder, text: string(runes[start+1 : i]), pos: start})
+		case isIdentStart(r):
+			start := i
+			for i < n && isIdentPart(runes[i]) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: string(runes[start:i]), pos: start})
+		case unicode.IsDigit(r) || (r == '.' && i+1 < n && unicode.IsDigit(runes[i+1])):
+			start := i
+			for i < n && (unicode.IsDigit(runes[i]) || runes[i] == '.') {
+				i++
+			}
+			text := string(runes[start:i])
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, &lexError{pos: start, msg: "bad number " + text}
+			}
+			toks = append(toks, token{kind: tokNumber, text: text, num: f, pos: start})
+		case r == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if runes[i] == '\'' {
+					if i+1 < n && runes[i+1] == '\'' { // escaped quote
+						sb.WriteRune('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteRune(runes[i])
+				i++
+			}
+			if !closed {
+				return nil, &lexError{pos: start, msg: "unterminated string"}
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case r == '<' || r == '>' || r == '!':
+			start := i
+			i++
+			if i < n && (runes[i] == '=' || (r == '<' && runes[i] == '>')) {
+				i++
+			}
+			toks = append(toks, token{kind: tokSymbol, text: string(runes[start:i]), pos: start})
+		case strings.ContainsRune("=,().*;", r):
+			toks = append(toks, token{kind: tokSymbol, text: string(r), pos: i})
+			i++
+		default:
+			return nil, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}

@@ -1,0 +1,522 @@
+package sqlast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseError reports a parse failure with token position and context.
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql parse error at %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a single SELECT statement of the supported subset. A
+// trailing semicolon is allowed.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peekSymbol(";") {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input %q", p.peek())
+	}
+	return q, nil
+}
+
+// MustParse parses or panics; for tests and embedded benchmark data.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(fmt.Sprintf("sqlast.MustParse(%q): %v", input, err))
+	}
+	return q
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) errorf(format string, args ...any) error {
+	return &ParseError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// peekKeyword reports whether the next token is the given keyword
+// (case-insensitive identifier).
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or errors.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, got %q", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+func (p *parser) peekSymbol(sym string) bool {
+	t := p.peek()
+	return t.kind == tokSymbol && t.text == sym
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peekSymbol(sym) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, got %q", sym, p.peek())
+	}
+	return nil
+}
+
+// keywords that terminate clause item lists.
+var clauseKeywords = map[string]bool{
+	"from": true, "where": true, "group": true, "having": true,
+	"order": true, "limit": true, "and": true, "or": true, "not": true,
+	"in": true, "exists": true, "between": true, "like": true,
+	"asc": true, "desc": true, "by": true, "distinct": true, "select": true,
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	q := NewQuery()
+	q.Distinct = p.acceptKeyword("distinct")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+	q.From = from
+	if p.acceptKeyword("where") {
+		w, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = w
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, c)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("having") {
+		h, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Having = h
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			oi := OrderItem{Item: item}
+			if p.acceptKeyword("desc") {
+				oi.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			q.OrderBy = append(q.OrderBy, oi)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected number after LIMIT, got %q", t)
+		}
+		p.next()
+		q.Limit = int(t.num)
+	}
+	return q, nil
+}
+
+func (p *parser) parseFrom() (From, error) {
+	if p.peek().kind == tokPlaceholder && strings.EqualFold(p.peek().text, "JOIN") {
+		p.next()
+		return From{JoinPlaceholder: true}, nil
+	}
+	var f From
+	for {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return f, p.errorf("expected table name, got %q", t)
+		}
+		p.next()
+		f.Tables = append(f.Tables, t.text)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	var item SelectItem
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == "*" {
+		p.next()
+		item.Star = true
+		return item, nil
+	}
+	if t.kind != tokIdent {
+		return item, p.errorf("expected column or aggregate, got %q", t)
+	}
+	if agg, ok := ParseAgg(t.text); ok && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+		p.next() // agg name
+		p.next() // (
+		item.Agg = agg
+		if p.acceptKeyword("distinct") {
+			item.Distinct = true
+		}
+		if p.acceptSymbol("*") {
+			item.Star = true
+		} else {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return item, err
+			}
+			item.Col = c
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return item, err
+		}
+		return item, nil
+	}
+	c, err := p.parseColumnRef()
+	if err != nil {
+		return item, err
+	}
+	item.Col = c
+	if c.Column == "*" {
+		item.Star = true // table.* projection
+	}
+	return item, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t := p.peek()
+	if t.kind != tokIdent || clauseKeywords[strings.ToLower(t.text)] {
+		return ColumnRef{}, p.errorf("expected column name, got %q", t)
+	}
+	p.next()
+	ref := ColumnRef{Column: t.text}
+	if p.peekSymbol(".") {
+		p.next()
+		t2 := p.peek()
+		if t2.kind == tokSymbol && t2.text == "*" {
+			p.next()
+			// table.* — represent as star with table recorded in Column.
+			return ColumnRef{Table: ref.Column, Column: "*"}, nil
+		}
+		if t2.kind != tokIdent {
+			return ColumnRef{}, p.errorf("expected column after '.', got %q", t2)
+		}
+		p.next()
+		ref = ColumnRef{Table: ref.Column, Column: t2.text}
+	}
+	return ref, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Logic{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parsePredicate()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		left = Logic{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	if p.acceptKeyword("not") {
+		if p.peekKeyword("exists") {
+			e, err := p.parseExists()
+			if err != nil {
+				return nil, err
+			}
+			ex := e.(Exists)
+			ex.Negated = true
+			return ex, nil
+		}
+		inner, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		return Not{Inner: inner}, nil
+	}
+	if p.peekKeyword("exists") {
+		return p.parseExists()
+	}
+	if p.acceptSymbol("(") {
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	// Aggregate comparison (HAVING) or column predicate.
+	t := p.peek()
+	if t.kind == tokIdent {
+		if agg, ok := ParseAgg(t.text); ok && p.toks[p.i+1].kind == tokSymbol && p.toks[p.i+1].text == "(" {
+			item := SelectItem{Agg: agg}
+			p.next()
+			p.next()
+			if p.acceptKeyword("distinct") {
+				item.Distinct = true
+			}
+			if p.acceptSymbol("*") {
+				item.Star = true
+			} else {
+				c, err := p.parseColumnRef()
+				if err != nil {
+					return nil, err
+				}
+				item.Col = c
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			op, err := p.parseCmpOp()
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return HavingCond{Item: item, Op: op, Right: rhs}, nil
+		}
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.peekKeyword("between"):
+		p.next()
+		lo, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Between{Col: col, Lo: lo, Hi: hi}, nil
+	case p.peekKeyword("not"):
+		p.next()
+		if p.acceptKeyword("in") {
+			sub, err := p.parseParenQuery()
+			if err != nil {
+				return nil, err
+			}
+			return InSubquery{Col: col, Query: sub, Negated: true}, nil
+		}
+		if p.acceptKeyword("like") {
+			rhs, err := p.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			return Not{Inner: Comparison{Left: col, Op: OpLike, Right: rhs}}, nil
+		}
+		return nil, p.errorf("expected IN or LIKE after NOT")
+	case p.peekKeyword("in"):
+		p.next()
+		sub, err := p.parseParenQuery()
+		if err != nil {
+			return nil, err
+		}
+		return InSubquery{Col: col, Query: sub}, nil
+	case p.peekKeyword("like"):
+		p.next()
+		rhs, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Comparison{Left: col, Op: OpLike, Right: rhs}, nil
+	default:
+		op, err := p.parseCmpOp()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return Comparison{Left: col, Op: op, Right: rhs}, nil
+	}
+}
+
+func (p *parser) parseExists() (Expr, error) {
+	if err := p.expectKeyword("exists"); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseParenQuery()
+	if err != nil {
+		return nil, err
+	}
+	return Exists{Query: sub}, nil
+}
+
+func (p *parser) parseParenQuery() (*Query, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (p *parser) parseCmpOp() (CmpOp, error) {
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return 0, p.errorf("expected comparison operator, got %q", t)
+	}
+	var op CmpOp
+	switch t.text {
+	case "=":
+		op = OpEq
+	case "!=", "<>":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return 0, p.errorf("expected comparison operator, got %q", t)
+	}
+	p.next()
+	return op, nil
+}
+
+// parseOperand parses a literal, placeholder, scalar subquery, or
+// column operand.
+func (p *parser) parseOperand() (Operand, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return NumValue(t.num), nil
+	case tokString:
+		p.next()
+		return StrValue(t.text), nil
+	case tokPlaceholder:
+		p.next()
+		return Placeholder{Name: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			sub, err := p.parseParenQuery()
+			if err != nil {
+				return nil, err
+			}
+			return ScalarSubquery{Query: sub}, nil
+		}
+	case tokIdent:
+		if !clauseKeywords[strings.ToLower(t.text)] {
+			c, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			return ColOperand{Col: c}, nil
+		}
+	}
+	return nil, p.errorf("expected value, placeholder, column, or subquery, got %q", t)
+}

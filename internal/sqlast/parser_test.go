@@ -1,0 +1,221 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasics(t *testing.T) {
+	q := MustParse("SELECT name, AVG(age) FROM patients WHERE diagnosis = 'flu' GROUP BY name HAVING COUNT(*) > 2 ORDER BY AVG(age) DESC LIMIT 3")
+	if len(q.Select) != 2 {
+		t.Fatalf("select items = %d", len(q.Select))
+	}
+	if q.Select[1].Agg != AggAvg {
+		t.Fatalf("second item agg = %v", q.Select[1].Agg)
+	}
+	if len(q.From.Tables) != 1 || q.From.Tables[0] != "patients" {
+		t.Fatalf("from = %v", q.From)
+	}
+	cmp, ok := q.Where.(Comparison)
+	if !ok || cmp.Op != OpEq {
+		t.Fatalf("where = %#v", q.Where)
+	}
+	if v, ok := cmp.Right.(Value); !ok || v.Str != "flu" {
+		t.Fatalf("where rhs = %#v", cmp.Right)
+	}
+	if len(q.GroupBy) != 1 || q.Having == nil {
+		t.Fatalf("groupby/having missing")
+	}
+	if len(q.OrderBy) != 1 || !q.OrderBy[0].Desc || q.OrderBy[0].Item.Agg != AggAvg {
+		t.Fatalf("orderby = %+v", q.OrderBy)
+	}
+	if q.Limit != 3 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]CmpOp{
+		"=": OpEq, "!=": OpNe, "<>": OpNe, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+	}
+	for text, want := range ops {
+		q := MustParse("SELECT a FROM t WHERE a " + text + " 1")
+		cmp := q.Where.(Comparison)
+		if cmp.Op != want {
+			t.Fatalf("op %q parsed as %v", text, cmp.Op)
+		}
+	}
+}
+
+func TestParsePlaceholders(t *testing.T) {
+	q := MustParse("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	cmp := q.Where.(Comparison)
+	ph, ok := cmp.Right.(Placeholder)
+	if !ok || ph.Name != "PATIENTS.AGE" {
+		t.Fatalf("placeholder = %#v", cmp.Right)
+	}
+	q2 := MustParse("SELECT a FROM @JOIN WHERE t.b = 1")
+	if !q2.From.JoinPlaceholder {
+		t.Fatal("FROM @JOIN not recognized")
+	}
+}
+
+func TestParseLogic(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE x = 1 AND (y = 2 OR z = 3)")
+	l, ok := q.Where.(Logic)
+	if !ok || l.Op != OpAnd {
+		t.Fatalf("top = %#v", q.Where)
+	}
+	inner, ok := l.Right.(Logic)
+	if !ok || inner.Op != OpOr {
+		t.Fatalf("inner = %#v", l.Right)
+	}
+	// Precedence: AND binds tighter than OR.
+	q2 := MustParse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+	l2 := q2.Where.(Logic)
+	if l2.Op != OpOr {
+		t.Fatalf("precedence wrong: top = %v", l2.Op)
+	}
+}
+
+func TestParseNot(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE NOT (x = 1)")
+	if _, ok := q.Where.(Not); !ok {
+		t.Fatalf("NOT not parsed: %#v", q.Where)
+	}
+	q2 := MustParse("SELECT a FROM t WHERE x NOT LIKE 'foo%'")
+	n, ok := q2.Where.(Not)
+	if !ok {
+		t.Fatalf("NOT LIKE = %#v", q2.Where)
+	}
+	if c := n.Inner.(Comparison); c.Op != OpLike {
+		t.Fatalf("inner op = %v", c.Op)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE k IN (SELECT fk FROM u WHERE b = 1)")
+	in, ok := q.Where.(InSubquery)
+	if !ok || in.Negated {
+		t.Fatalf("in = %#v", q.Where)
+	}
+	q2 := MustParse("SELECT a FROM t WHERE k NOT IN (SELECT fk FROM u)")
+	if in2 := q2.Where.(InSubquery); !in2.Negated {
+		t.Fatal("NOT IN lost negation")
+	}
+	q3 := MustParse("SELECT a FROM t WHERE NOT EXISTS (SELECT * FROM u)")
+	if ex := q3.Where.(Exists); !ex.Negated {
+		t.Fatal("NOT EXISTS lost negation")
+	}
+	q4 := MustParse("SELECT a FROM t WHERE n = (SELECT MAX(n) FROM t)")
+	cmp := q4.Where.(Comparison)
+	if _, ok := cmp.Right.(ScalarSubquery); !ok {
+		t.Fatalf("scalar subquery = %#v", cmp.Right)
+	}
+}
+
+func TestParseBetweenAndLike(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE n BETWEEN 1 AND 5 AND s LIKE '%x%'")
+	conj := Conjuncts(q.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if _, ok := conj[0].(Between); !ok {
+		t.Fatalf("first = %#v", conj[0])
+	}
+	if c := conj[1].(Comparison); c.Op != OpLike {
+		t.Fatalf("second op = %v", c.Op)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE s = 'it''s'")
+	v := q.Where.(Comparison).Right.(Value)
+	if v.Str != "it's" {
+		t.Fatalf("escaped string = %q", v.Str)
+	}
+	if !strings.Contains(q.String(), "'it''s'") {
+		t.Fatalf("re-render = %q", q.String())
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	q := MustParse("SELECT t.* FROM t, u WHERE t.id = u.tid")
+	if !q.Select[0].Star || q.Select[0].Col.Table != "t" {
+		t.Fatalf("t.* = %+v", q.Select[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a",
+		"SELECT a FROM t WHERE a =",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t ORDER age",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t WHERE a = 'unterminated",
+		"SELECT a FROM t trailing garbage",
+		"INSERT INTO t VALUES (1)",
+		"SELECT a FROM t WHERE a = 1 AND",
+		"SELECT a FROM t WHERE a IN (SELECT b FROM u",
+		"SELECT COUNT( FROM t",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT a FROM t;"); err != nil {
+		t.Fatalf("trailing semicolon rejected: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParse("SELECT a FROM t WHERE x = 1 AND k IN (SELECT f FROM u)")
+	c := q.Clone()
+	c.Select[0].Col.Column = "changed"
+	c.From.Tables[0] = "changed"
+	if q.Select[0].Col.Column == "changed" || q.From.Tables[0] == "changed" {
+		t.Fatal("Clone shares state with original")
+	}
+	if q.String() == c.String() {
+		t.Fatal("mutated clone should differ")
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	q := MustParse("SELECT a, MAX(b) FROM t WHERE c = 1 AND k IN (SELECT f FROM u WHERE g > 2) GROUP BY a HAVING COUNT(*) > 1 ORDER BY b")
+	cols := q.Columns()
+	want := map[string]bool{"a": true, "b": true, "c": true, "k": true, "f": true, "g": true}
+	if len(cols) != len(want) {
+		t.Fatalf("columns = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c.Column] {
+			t.Fatalf("unexpected column %v", c)
+		}
+	}
+}
+
+func TestHasHelpers(t *testing.T) {
+	if !MustParse("SELECT a FROM t WHERE n = (SELECT MAX(n) FROM t)").HasSubquery() {
+		t.Fatal("HasSubquery false negative")
+	}
+	if MustParse("SELECT a FROM t").HasSubquery() {
+		t.Fatal("HasSubquery false positive")
+	}
+	if !MustParse("SELECT AVG(a) FROM t").HasAggregate() {
+		t.Fatal("HasAggregate false negative")
+	}
+	if MustParse("SELECT a FROM t").HasAggregate() {
+		t.Fatal("HasAggregate false positive")
+	}
+}

@@ -1,0 +1,121 @@
+package sqlast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPatternAbstraction(t *testing.T) {
+	// Same structure over different schema elements => same pattern.
+	a := MustParse("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	b := MustParse("SELECT title FROM books WHERE pages = @BOOKS.PAGES")
+	if a.Pattern() != b.Pattern() {
+		t.Fatalf("patterns differ:\n%s\n%s", a.Pattern(), b.Pattern())
+	}
+	// Literal values and placeholders are the same pattern.
+	c := MustParse("SELECT name FROM patients WHERE age = 80")
+	if a.Pattern() != c.Pattern() {
+		t.Fatalf("literal vs placeholder pattern mismatch")
+	}
+}
+
+func TestPatternDistinguishesStructure(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT a FROM t", "SELECT * FROM t"},
+		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x > 1"},
+		{"SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 1 AND y = 2"},
+		{"SELECT COUNT(*) FROM t", "SELECT SUM(a) FROM t"},
+		{"SELECT a FROM t ORDER BY b DESC LIMIT 1", "SELECT a FROM t ORDER BY b DESC"},
+		{"SELECT a FROM t WHERE n = (SELECT MAX(n) FROM t)", "SELECT a FROM t WHERE n = (SELECT MIN(n) FROM t)"},
+		{"SELECT a FROM t WHERE k IN (SELECT f FROM u)", "SELECT a FROM t WHERE k NOT IN (SELECT f FROM u)"},
+	}
+	for _, p := range pairs {
+		if MustParse(p[0]).Pattern() == MustParse(p[1]).Pattern() {
+			t.Errorf("%q and %q should have different patterns", p[0], p[1])
+		}
+	}
+}
+
+func TestPatternOpClasses(t *testing.T) {
+	// All strict inequalities are one pattern class.
+	gt := MustParse("SELECT a FROM t WHERE x > 1").Pattern()
+	lt := MustParse("SELECT a FROM t WHERE x < 1").Pattern()
+	ge := MustParse("SELECT a FROM t WHERE x >= 1").Pattern()
+	if gt != lt || gt != ge {
+		t.Fatal("comparison direction should collapse in patterns")
+	}
+	eq := MustParse("SELECT a FROM t WHERE x = 1").Pattern()
+	ne := MustParse("SELECT a FROM t WHERE x != 1").Pattern()
+	if eq != ne {
+		t.Fatal("= and != should share a pattern class")
+	}
+	if eq == gt {
+		t.Fatal("equality and inequality must remain distinct classes")
+	}
+}
+
+func TestPatternJoinNormalization(t *testing.T) {
+	a := MustParse("SELECT t.a FROM @JOIN WHERE u.b = 1").Pattern()
+	b := MustParse("SELECT t.a FROM t, u WHERE u.b = 1").Pattern()
+	if a != b {
+		t.Fatalf("@JOIN and resolved multi-table FROM should share a pattern:\n%s\n%s", a, b)
+	}
+}
+
+func TestPatternLimitClasses(t *testing.T) {
+	l1 := MustParse("SELECT a FROM t ORDER BY b DESC LIMIT 1").Pattern()
+	l5 := MustParse("SELECT a FROM t ORDER BY b DESC LIMIT 5").Pattern()
+	l9 := MustParse("SELECT a FROM t ORDER BY b DESC LIMIT 9").Pattern()
+	if l1 == l5 {
+		t.Fatal("LIMIT 1 (argmax) must be its own pattern")
+	}
+	if l5 != l9 {
+		t.Fatal("all top-k limits share one pattern")
+	}
+}
+
+func TestDifficultyBuckets(t *testing.T) {
+	cases := map[string]Difficulty{
+		"SELECT * FROM t":                                               Easy,
+		"SELECT a FROM t WHERE x = 1":                                   Easy,
+		"SELECT a, COUNT(*) FROM t GROUP BY a":                          Medium, // group(2)+agg(1) = 3
+		"SELECT AVG(a) FROM t WHERE x = 1":                              Medium,
+		"SELECT a FROM t WHERE n = (SELECT MAX(n) FROM t)":              Hard,
+		"SELECT a FROM t WHERE n = (SELECT MAX(n) FROM t WHERE x=1)":    VeryHard,
+		"SELECT t.a FROM @JOIN WHERE u.b = 1 ORDER BY t.n DESC LIMIT 1": Hard, // pred+order+limit+join = 5
+	}
+	for sql, want := range cases {
+		got := QueryDifficulty(MustParse(sql))
+		if got != want {
+			t.Errorf("difficulty(%q) = %v, want %v", sql, got, want)
+		}
+	}
+}
+
+func TestDifficultyMonotoneOrder(t *testing.T) {
+	// Adding components must never lower the bucket.
+	base := MustParse("SELECT a FROM t WHERE x = 1")
+	more := MustParse("SELECT a FROM t WHERE x = 1 AND y = 2 ORDER BY n DESC LIMIT 3")
+	if QueryDifficulty(more) < QueryDifficulty(base) {
+		t.Fatal("more components must not reduce difficulty")
+	}
+}
+
+// Property: Pattern is idempotent under reparsing.
+func TestPatternStableQuick(t *testing.T) {
+	sqls := []string{
+		"SELECT a FROM t WHERE x = 1",
+		"SELECT COUNT(*) FROM t GROUP BY a",
+		"SELECT t.a FROM @JOIN WHERE u.b > 2",
+		"SELECT a FROM t WHERE k IN (SELECT f FROM u WHERE g = 'x')",
+	}
+	f := func(i uint8) bool {
+		q := MustParse(sqls[int(i)%len(sqls)])
+		p1 := q.Pattern()
+		q2 := MustParse(q.String())
+		return q2.Pattern() == p1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

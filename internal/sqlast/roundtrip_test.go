@@ -1,0 +1,40 @@
+package sqlast
+
+import "testing"
+
+func TestSmoke(t *testing.T) {
+	for _, s := range []string{
+		"SELECT name FROM patients WHERE age = @PATIENTS.AGE",
+		"SELECT * FROM city WHERE city.state_name = 'Massachusetts'",
+		"SELECT state, AVG(population) FROM cities GROUP BY state",
+		"SELECT AVG(patient.age) FROM @JOIN WHERE doctor.name = @DOCTOR.NAME",
+		"SELECT name FROM mountain WHERE height = (SELECT MAX(height) FROM mountain WHERE state = @STATE.NAME)",
+		"SELECT COUNT(*) FROM t WHERE a = 1 AND (b = 2 OR c = 'x') ORDER BY d DESC LIMIT 5",
+		"SELECT name FROM p WHERE id IN (SELECT pid FROM visits WHERE length_of_stay > 10)",
+		"SELECT COUNT(DISTINCT diagnosis) FROM patients",
+		"SELECT name FROM patients WHERE age BETWEEN 20 AND 30",
+		"SELECT name FROM p WHERE NOT EXISTS (SELECT * FROM v WHERE v.pid = p.id)",
+		"SELECT t.x, u.y FROM t, u WHERE t.id = u.tid AND t.x != 'a''b'",
+		"SELECT state, COUNT(*) FROM cities GROUP BY state HAVING COUNT(*) > 3",
+	} {
+		q, err := Parse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		r, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("reparse %q -> %q: %v", s, q.String(), err)
+		}
+		if q.Canonical() != r.Canonical() {
+			t.Fatalf("roundtrip mismatch %q vs %q", q.Canonical(), r.Canonical())
+		}
+		q2, err := ParseTokens(q.Tokens())
+		if err != nil {
+			t.Fatalf("tokens %v: %v", q.Tokens(), err)
+		}
+		if q2.Canonical() != q.Canonical() {
+			t.Fatalf("token roundtrip %q", s)
+		}
+		t.Logf("%s => pattern %s diff %s", s, q.Pattern(), QueryDifficulty(q))
+	}
+}

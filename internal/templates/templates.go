@@ -1,0 +1,200 @@
+// Package templates holds DBPal's seed NL–SQL template pairs. Each
+// template couples one SQL skeleton with one or more NL skeletons
+// (the paper's "manually curated paraphrased NL templates"), covering
+// the typical classes of SQL queries from simple SELECT-FROM-WHERE to
+// group-by aggregation, joins, and simple nested queries.
+//
+// Template DSL. Slots appear in braces:
+//
+//	Schema slots (both SQL and NL sides)
+//	  {t} {u}            table 1 / table 2 name
+//	  {a} {a2} {a3}      any attribute of table 1
+//	  {na} {na2}         numeric attribute of table 1
+//	  {ta}               text attribute of table 1
+//	  {b} {nb} {tb}      any / numeric / text attribute of table 2
+//	  {k} {fk}           foreign-key join pair: {t}.{k} = {u}.{fk}
+//	  {t.x} {u.x}        qualified rendering of an attribute slot
+//	  {@x}               anonymized constant for attribute slot x,
+//	                     rendered as @TABLE.COL on both sides
+//
+//	NL-only slots (filled from the lexicon's slot-fill dictionaries)
+//	  {Select} {Count} {From} {Where} {Equal} {Greater} {Less}
+//	  {Between} {Max} {Min} {Avg} {Sum} {Group} {OrderAsc}
+//	  {OrderDesc} {And} {Or} {Not} {Distinct} {Exists}
+//
+//	NL modifiers
+//	  {t+} {u+}          plural form of the table noun
+//
+// Composing these templates is the "minimal, one-time overhead" the
+// paper describes: they are independent of any target database and are
+// instantiated against arbitrary schemas by internal/generator.
+package templates
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Class buckets templates by the SQL pattern family they cover. The
+// generator's boost parameters (joinBoost, aggBoost, nestBoost) scale
+// instance counts per class.
+type Class int
+
+// Template classes.
+const (
+	CSelect  Class = iota // projection only
+	CFilter               // SELECT-FROM-WHERE
+	CAgg                  // aggregation (global)
+	CGroupBy              // group-by aggregation
+	COrder                // ordering / top-k
+	CJoin                 // multi-table via @JOIN
+	CNested               // nested subqueries
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case CSelect:
+		return "select"
+	case CFilter:
+		return "filter"
+	case CAgg:
+		return "agg"
+	case CGroupBy:
+		return "groupby"
+	case COrder:
+		return "order"
+	case CJoin:
+		return "join"
+	case CNested:
+		return "nested"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classes lists all template classes.
+var Classes = []Class{CSelect, CFilter, CAgg, CGroupBy, COrder, CJoin, CNested}
+
+// NL is one natural-language skeleton for a SQL template. Category
+// tags the paraphrasing technique of non-naive variants (following the
+// paraphrase typology the paper references): "", i.e. naive direct
+// translation, or "syntactic", "lexical", "morphological", "semantic".
+type NL struct {
+	Text     string
+	Category string
+}
+
+// Template is one seed NL–SQL template pair (one SQL skeleton, several
+// NL skeletons).
+type Template struct {
+	ID    string
+	Class Class
+	SQL   string
+	NL    []NL
+}
+
+var slotRe = regexp.MustCompile(`\{[^{}]+\}`)
+
+// Slots returns the distinct slot names appearing in the template's
+// SQL and NL sides (without braces), in first-appearance order.
+func (t *Template) Slots() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		for _, m := range slotRe.FindAllString(s, -1) {
+			name := m[1 : len(m)-1]
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	add(t.SQL)
+	for _, nl := range t.NL {
+		add(nl.Text)
+	}
+	return out
+}
+
+// attrSlots maps attribute-slot names to which table they bind to
+// (1 or 2) and the required column kind.
+type AttrKind int
+
+// Attribute slot kinds.
+const (
+	AnyAttr AttrKind = iota
+	NumAttr
+	TextAttr
+	KeyAttr // join-pair column
+)
+
+// AttrSlot describes one schema attribute slot.
+type AttrSlot struct {
+	Name  string
+	Table int // 1 or 2
+	Kind  AttrKind
+}
+
+// KnownAttrSlots enumerates the attribute slots of the DSL.
+var KnownAttrSlots = []AttrSlot{
+	{"a", 1, AnyAttr}, {"a2", 1, AnyAttr}, {"a3", 1, AnyAttr},
+	{"na", 1, NumAttr}, {"na2", 1, NumAttr},
+	{"ta", 1, TextAttr}, {"ta2", 1, TextAttr},
+	{"b", 2, AnyAttr}, {"b2", 2, AnyAttr},
+	{"nb", 2, NumAttr}, {"tb", 2, TextAttr},
+	{"k", 1, KeyAttr}, {"fk", 2, KeyAttr},
+}
+
+// AttrSlotByName resolves an attribute slot name.
+func AttrSlotByName(name string) (AttrSlot, bool) {
+	for _, s := range KnownAttrSlots {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return AttrSlot{}, false
+}
+
+// UsesTwoTables reports whether the template references table 2 (join
+// or cross-table nested templates).
+func (t *Template) UsesTwoTables() bool {
+	for _, slot := range t.Slots() {
+		name := slot
+		name = strings.TrimPrefix(name, "@")
+		name = strings.TrimPrefix(name, "t.")
+		if strings.HasPrefix(name, "u.") {
+			return true
+		}
+		if name == "u" || name == "u+" {
+			return true
+		}
+		if as, ok := AttrSlotByName(name); ok && as.Table == 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// RequiredSlots returns the attribute slots the template binds,
+// deduplicated, resolving qualified ({t.a}) and value ({@a}) forms to
+// their base slot.
+func (t *Template) RequiredSlots() []AttrSlot {
+	seen := map[string]bool{}
+	var out []AttrSlot
+	for _, slot := range t.Slots() {
+		name := strings.TrimPrefix(slot, "@")
+		name = strings.TrimPrefix(name, "t.")
+		name = strings.TrimPrefix(name, "u.")
+		as, ok := AttrSlotByName(name)
+		if !ok {
+			continue
+		}
+		if !seen[as.Name] {
+			seen[as.Name] = true
+			out = append(out, as)
+		}
+	}
+	return out
+}
