@@ -8,18 +8,22 @@
 //	dbpal-bench -figure 3     seed-template fraction sweep
 //	dbpal-bench -figure 4     hyperparameter random-search histogram
 //	dbpal-bench -ablation     pipeline design-choice ablations
-//	dbpal-bench -all          everything above
+//	dbpal-bench -speedup      parallel-scaling check (workers=1 vs -workers)
+//	dbpal-bench -all          everything above (except -speedup)
 //
 // Flags -quick (reduced scale), -model sketch|seq2seq, and -seed
-// control the run. Results are printed in the same row/series layout
-// the paper reports; see EXPERIMENTS.md for the recorded
-// paper-vs-measured comparison.
+// control the run; -workers bounds every worker pool (0 = all cores,
+// 1 = fully sequential — results are identical either way) and -batch
+// sets the training minibatch size (1 = classic per-example SGD).
+// Results are printed in the same row/series layout the paper reports;
+// see EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -36,6 +40,9 @@ func main() {
 		model     = flag.String("model", "sketch", "translator: sketch | seq2seq")
 		seed      = flag.Int64("seed", 7, "experiment seed")
 		trials    = flag.Int("trials", 0, "override hyperopt trial count (figure 4)")
+		workers   = flag.Int("workers", 0, "worker-pool bound for every parallel stage (0 = all cores)")
+		batch     = flag.Int("batch", 1, "training minibatch size (1 = per-example SGD, the paper trajectory)")
+		speedup   = flag.Bool("speedup", false, "measure parallel speedup: quick Spider experiment at workers=1 vs -workers")
 	)
 	flag.Parse()
 
@@ -45,6 +52,9 @@ func main() {
 	}
 	scale.ModelKind = *model
 	scale.Seed = *seed
+	scale.Workers = *workers
+	scale.Sketch.BatchSize = *batch
+	scale.Seq2Seq.BatchSize = *batch
 	if *trials > 0 {
 		scale.HyperoptTrials = *trials
 	}
@@ -91,6 +101,40 @@ func main() {
 	if *all || *ablation {
 		run("ablations", func() {
 			fmt.Println(experiments.RunAblations(scale).Format())
+		})
+	}
+	if *speedup {
+		run("speedup", func() {
+			// The quick-scale Spider experiment, once sequentially and
+			// once on the requested pool. Accuracy tables must match
+			// byte-for-byte — the worker count may only buy time.
+			sc := experiments.QuickScale()
+			sc.ModelKind = *model
+			sc.Seed = *seed
+			sc.Sketch.BatchSize = *batch
+			sc.Seq2Seq.BatchSize = *batch
+
+			sc.Workers = 1
+			t1 := time.Now()
+			seq := experiments.RunSpider(sc)
+			d1 := time.Since(t1)
+
+			sc.Workers = *workers
+			tN := time.Now()
+			parl := experiments.RunSpider(sc)
+			dN := time.Since(tN)
+
+			fmt.Printf("workers=1: %s\nworkers=%d (0 = all %d cores): %s\nspeedup: %.2fx\n",
+				d1.Round(time.Millisecond), *workers, goruntime.NumCPU(), dN.Round(time.Millisecond),
+				d1.Seconds()/dN.Seconds())
+			if seq.Table2() != parl.Table2() || seq.Table4() != parl.Table4() {
+				fmt.Println("ERROR: accuracy tables differ between worker counts")
+				fmt.Println("--- workers=1 ---\n" + seq.Table2() + seq.Table4())
+				fmt.Println("--- parallel ---\n" + parl.Table2() + parl.Table4())
+				os.Exit(1)
+			}
+			fmt.Println("accuracy tables byte-identical across worker counts")
+			fmt.Println(parl.Table2())
 		})
 	}
 	if *searchcmp {

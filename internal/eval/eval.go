@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/lemma"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/patients"
 	"repro/internal/runtime"
 	"repro/internal/spider"
@@ -67,20 +68,35 @@ type SpiderReport struct {
 
 // EvalSpider runs the translator over pre-anonymized questions and
 // scores canonicalized exact match, as in the paper's Spider setup.
+// Questions are translated concurrently on the default worker pool.
 func EvalSpider(tr models.Translator, qs []spider.Question) *SpiderReport {
+	return EvalSpiderWorkers(tr, qs, 0)
+}
+
+// EvalSpiderWorkers is EvalSpider with an explicit worker-pool bound
+// (0 = runtime.NumCPU). The translator's Translate must be safe for
+// concurrent calls (both repository models are: inference only reads
+// the trained weights). The report is identical for every worker
+// count: results are produced into per-question slots and aggregated
+// in question order.
+func EvalSpiderWorkers(tr models.Translator, qs []spider.Question, workers int) *SpiderReport {
 	rep := &SpiderReport{ByDifficulty: map[sqlast.Difficulty]*Frac{}}
 	for _, d := range sqlast.Difficulties {
 		rep.ByDifficulty[d] = &Frac{}
 	}
+	// Schema-token contexts are built up front so the workers share a
+	// read-only map.
 	schemaToks := map[string][]string{}
 	for _, q := range qs {
-		st, ok := schemaToks[q.Schema]
-		if !ok {
-			st = models.SchemaTokens(spider.SchemaByName(q.Schema))
-			schemaToks[q.Schema] = st
+		if _, ok := schemaToks[q.Schema]; !ok {
+			schemaToks[q.Schema] = models.SchemaTokens(spider.SchemaByName(q.Schema))
 		}
+	}
+	rep.Results = make([]SpiderResult, len(qs))
+	par.Map(workers, len(qs), func(i int) {
+		q := qs[i]
 		nl := lemma.LemmatizeAll(tokens.Tokenize(q.NL))
-		predToks := tr.Translate(nl, st)
+		predToks := tr.Translate(nl, schemaToks[q.Schema])
 		gold := sqlast.MustParse(q.SQL)
 		correct := false
 		var predStr string
@@ -90,15 +106,17 @@ func EvalSpider(tr models.Translator, qs []spider.Question) *SpiderReport {
 		} else {
 			predStr = strings.Join(predToks, " ")
 		}
-		rep.Overall.Add(correct)
-		rep.ByDifficulty[q.Difficulty].Add(correct)
-		rep.Results = append(rep.Results, SpiderResult{
+		rep.Results[i] = SpiderResult{
 			Question:   q,
 			Pred:       predStr,
 			Correct:    correct,
 			Difficulty: q.Difficulty,
 			Pattern:    gold.Pattern(),
-		})
+		}
+	})
+	for _, r := range rep.Results {
+		rep.Overall.Add(r.Correct)
+		rep.ByDifficulty[r.Difficulty].Add(r.Correct)
 	}
 	return rep
 }
@@ -191,7 +209,8 @@ type PatientsFailure struct {
 // EvalPatients runs the full runtime (Parameter Handler, lemmatizer,
 // model, post-processor) on every benchmark case and scores semantic
 // equivalence: the prediction is correct when it executes to the same
-// result as the gold query on the benchmark database.
+// result as the gold query on the benchmark database. Cases are
+// evaluated concurrently on the default worker pool.
 func EvalPatients(tr models.Translator, db *engine.Database, cases []patients.Case) *PatientsReport {
 	return EvalPatientsGuided(tr, db, cases, 1)
 }
@@ -199,37 +218,58 @@ func EvalPatients(tr models.Translator, db *engine.Database, cases []patients.Ca
 // EvalPatientsGuided is EvalPatients with execution-guided decoding:
 // the runtime tries up to execGuided ranked candidates per question.
 func EvalPatientsGuided(tr models.Translator, db *engine.Database, cases []patients.Case, execGuided int) *PatientsReport {
+	return EvalPatientsWorkers(tr, db, cases, execGuided, 0)
+}
+
+// patientsOutcome is one case's result slot, filled by a worker.
+type patientsOutcome struct {
+	correct bool
+	pred    string
+	err     string
+}
+
+// EvalPatientsWorkers is EvalPatientsGuided with an explicit
+// worker-pool bound (0 = runtime.NumCPU). The runtime translator and
+// execution engine are stateless per call, so one shared instance
+// serves every worker; outcomes land in per-case slots and are
+// aggregated in case order, making the report identical for every
+// worker count.
+func EvalPatientsWorkers(tr models.Translator, db *engine.Database, cases []patients.Case, execGuided, workers int) *PatientsReport {
 	rep := &PatientsReport{ByCategory: map[patients.Category]*Frac{}}
 	for _, c := range patients.Categories {
 		rep.ByCategory[c] = &Frac{}
 	}
 	rt := runtime.NewTranslator(db, tr)
 	rt.ExecutionGuided = execGuided
-	for _, cs := range cases {
+	outcomes := make([]patientsOutcome, len(cases))
+	par.Map(workers, len(cases), func(i int) {
+		cs := cases[i]
 		gold := sqlast.MustParse(cs.SQL)
 		goldRes, err := db.Execute(gold)
 		if err != nil {
 			panic(fmt.Sprintf("eval: gold query %q does not execute: %v", cs.SQL, err))
 		}
-		correct := false
-		predStr := ""
-		errStr := ""
+		var out patientsOutcome
 		pred, err := rt.Translate(cs.NL)
 		if err == nil {
-			predStr = pred.String()
+			out.pred = pred.String()
 			predRes, execErr := db.Execute(pred)
 			if execErr == nil {
-				correct = engine.EqualResults(goldRes, predRes)
+				out.correct = engine.EqualResults(goldRes, predRes)
 			} else {
-				errStr = execErr.Error()
+				out.err = execErr.Error()
 			}
 		} else {
-			errStr = err.Error()
+			out.err = err.Error()
 		}
-		rep.Overall.Add(correct)
-		rep.ByCategory[cs.Category].Add(correct)
-		if !correct {
-			rep.Failures = append(rep.Failures, PatientsFailure{Case: cs, Pred: predStr, Err: errStr})
+		outcomes[i] = out
+	})
+	for i, cs := range cases {
+		out := outcomes[i]
+		rep.Overall.Add(out.correct)
+		rep.ByCategory[cs.Category].Add(out.correct)
+		if !out.correct {
+			rep.Failures = append(rep.Failures, PatientsFailure{Case: cs, Pred: out.pred, Err: out.err})
 		}
 	}
 	return rep

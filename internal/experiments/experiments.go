@@ -16,6 +16,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/lemma"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/patients"
 	"repro/internal/schema"
 	"repro/internal/spider"
@@ -72,7 +73,13 @@ type Scale struct {
 	// hyperopt trial (each trial trains a full model, so trials run on
 	// a reduced corpus — the time-boxed regime of the paper's §6.3.3).
 	HyperoptTrialCap int
-	Seed             int64
+	// Workers bounds the worker pool of every parallel stage (config
+	// training fan-out, evaluation, hyperopt trials, minibatch
+	// backprop); 0 = runtime.NumCPU, 1 = fully sequential. Results are
+	// identical for every value — the knob trades wall-clock for cores
+	// only.
+	Workers int
+	Seed    int64
 }
 
 // DefaultScale is the full-size run used for EXPERIMENTS.md.
@@ -112,16 +119,19 @@ func QuickScale() Scale {
 	return s
 }
 
-// newModel builds a fresh translator per the scale.
+// newModel builds a fresh translator per the scale, threading the
+// scale's worker bound into the model's minibatch backprop pool.
 func (s Scale) newModel(seed int64) models.Translator {
 	switch s.ModelKind {
 	case "seq2seq":
 		cfg := s.Seq2Seq
 		cfg.Seed = seed
+		cfg.Workers = s.Workers
 		return models.NewSeq2Seq(cfg)
 	default:
 		cfg := s.Sketch
 		cfg.Seed = seed
+		cfg.Workers = s.Workers
 		return models.NewSketch(cfg)
 	}
 }
@@ -228,10 +238,18 @@ func RunSpider(s Scale) *SpiderExperiment {
 		DBPalPatterns:  eval.PatternsOfPairs(dbpalSQLs),
 		TrainSizes:     map[Config]int{},
 	}
-	for _, cfg := range Configs {
+	// The three configurations are independent train+eval pipelines:
+	// fan them out on the worker pool, collecting per-config reports
+	// into index-addressed slots so the assembled maps are identical
+	// at any worker count.
+	reports := make([]*eval.SpiderReport, len(Configs))
+	par.Map(s.Workers, len(Configs), func(i int) {
 		m := s.newModel(s.Seed)
-		m.Train(datasets[cfg])
-		exp.Reports[cfg] = eval.EvalSpider(m, d.Test)
+		m.Train(datasets[Configs[i]])
+		reports[i] = eval.EvalSpiderWorkers(m, d.Test, s.Workers)
+	})
+	for i, cfg := range Configs {
+		exp.Reports[cfg] = reports[i]
 		exp.TrainSizes[cfg] = len(datasets[cfg])
 	}
 	return exp
@@ -307,10 +325,14 @@ func RunPatients(s Scale) *PatientsExperiment {
 	}
 	cases := patients.Cases()
 	exp := &PatientsExperiment{Scale: s, Reports: map[Config]*eval.PatientsReport{}}
-	for _, cfg := range Configs {
+	reports := make([]*eval.PatientsReport, len(Configs))
+	par.Map(s.Workers, len(Configs), func(i int) {
 		m := s.newModel(s.Seed)
-		m.Train(datasets[cfg])
-		exp.Reports[cfg] = eval.EvalPatients(m, db, cases)
+		m.Train(datasets[Configs[i]])
+		reports[i] = eval.EvalPatientsWorkers(m, db, cases, 1, s.Workers)
+	})
+	for i, cfg := range Configs {
+		exp.Reports[cfg] = reports[i]
 	}
 	return exp
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/hyperopt"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/patients"
 	"repro/internal/spider"
 	"repro/internal/sqlast"
@@ -40,7 +41,9 @@ func RunFigure3(s Scale) *Figure3Result {
 	cases := patients.Cases()
 
 	res := &Figure3Result{Scale: s, Fractions: Figure3Fractions}
-	for _, frac := range Figure3Fractions {
+	res.Accuracy = make([]float64, len(Figure3Fractions))
+	par.Map(s.Workers, len(Figure3Fractions), func(i int) {
+		frac := Figure3Fractions[i]
 		exs := base
 		if frac > 0 {
 			p := core.New(patients.Schema(), s.Pipeline, s.Seed+777)
@@ -50,9 +53,9 @@ func RunFigure3(s Scale) *Figure3Result {
 		}
 		m := s.newModel(s.Seed)
 		m.Train(exs)
-		rep := eval.EvalPatients(m, db, cases)
-		res.Accuracy = append(res.Accuracy, rep.Overall.Acc())
-	}
+		rep := eval.EvalPatientsWorkers(m, db, cases, 1, s.Workers)
+		res.Accuracy[i] = rep.Overall.Acc()
+	})
 	full := res.Accuracy[len(res.Accuracy)-1]
 	for _, a := range res.Accuracy {
 		if full > 0 {
@@ -106,7 +109,11 @@ func RunFigure4(s Scale) *Figure4Result {
 	if trialCap <= 0 {
 		trialCap = s.PipelinePerSchema
 	}
-	obj := func(p core.Params) (float64, bool) {
+	// Trials run concurrently (they are the black-box Acc =
+	// Generate(D, T, φ) calls the paper's optimizer repeats); each
+	// receives a derived seed that depends only on its index, so the
+	// histogram is identical at any worker count.
+	obj := func(p core.Params, trialSeed int64) (float64, bool) {
 		var exs []models.Example
 		exs = append(exs, base...)
 		total := 0
@@ -120,13 +127,13 @@ func RunFigure4(s Scale) *Figure4Result {
 			pairs = subsamplePairs(pairs, trialCap, s.Seed+17)
 			exs = append(exs, models.PairExamples(pairs, sch)...)
 		}
-		m := trialScale.newModel(s.Seed)
+		m := trialScale.newModel(trialSeed)
 		m.Train(exs)
-		rep := eval.EvalSpider(m, geo)
+		rep := eval.EvalSpiderWorkers(m, geo, s.Workers)
 		return rep.Overall.Acc(), true
 	}
 
-	trials := hyperopt.RandomSearch(hyperopt.DefaultSpace(), s.HyperoptTrials, s.Seed+606, obj)
+	trials := hyperopt.RandomSearchWorkers(hyperopt.DefaultSpace(), s.HyperoptTrials, s.Seed+606, s.Workers, obj)
 	res := &Figure4Result{Scale: s, Trials: trials, Bins: hyperopt.Histogram(trials, 10)}
 	for _, t := range trials {
 		if t.Converged {

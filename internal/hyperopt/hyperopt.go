@@ -21,6 +21,7 @@ import (
 	"repro/internal/augment"
 	"repro/internal/core"
 	"repro/internal/generator"
+	"repro/internal/par"
 )
 
 // Space bounds the random search. Ranges are inclusive.
@@ -86,19 +87,46 @@ type Trial struct {
 
 // Objective evaluates one parameter set: the full Generate(D,T,φ)
 // pipeline including model training. Implementations report ok=false
-// when the trial did not converge within its budget.
+// when the trial did not converge within its budget. Random-search
+// objectives are called concurrently and must be safe for concurrent
+// use (the repository's objectives are: each trial builds its own
+// pipeline, corpus, and model from the candidate parameters).
 type Objective func(p core.Params) (acc float64, ok bool)
 
+// SeededObjective is an Objective that additionally receives the
+// trial's derived seed (par.SplitSeed of the search seed and the trial
+// index), so per-trial randomness is reproducible independent of
+// worker count and scheduling order.
+type SeededObjective func(p core.Params, trialSeed int64) (acc float64, ok bool)
+
 // RandomSearch evaluates n uniformly sampled parameter sets and
-// returns all trials, best first among converged ones.
+// returns all trials, best first among converged ones. Candidates are
+// evaluated concurrently on the default worker pool; the result is
+// identical for every worker count.
 func RandomSearch(space Space, n int, seed int64, obj Objective) []Trial {
+	return RandomSearchWorkers(space, n, seed, 0, func(p core.Params, _ int64) (float64, bool) {
+		return obj(p)
+	})
+}
+
+// RandomSearchWorkers is the fully-knobbed random search: candidates
+// are sampled sequentially from the seed's stream (so the candidate
+// set matches the sequential implementation bit-for-bit), then
+// evaluated concurrently on a pool of at most workers goroutines
+// (0 = runtime.NumCPU), each trial receiving its own derived seed.
+// Trial results land in per-candidate slots, so the returned ranking
+// does not depend on the worker count.
+func RandomSearchWorkers(space Space, n int, seed int64, workers int, obj SeededObjective) []Trial {
 	rng := rand.New(rand.NewSource(seed))
-	trials := make([]Trial, 0, n)
-	for i := 0; i < n; i++ {
-		p := space.Sample(rng)
-		acc, ok := obj(p)
-		trials = append(trials, Trial{Params: p, Accuracy: acc, Converged: ok})
+	params := make([]core.Params, n)
+	for i := range params {
+		params[i] = space.Sample(rng)
 	}
+	trials := make([]Trial, n)
+	par.Map(workers, n, func(i int) {
+		acc, ok := obj(params[i], par.SplitSeed(seed, i))
+		trials[i] = Trial{Params: params[i], Accuracy: acc, Converged: ok}
+	})
 	sort.SliceStable(trials, func(i, j int) bool {
 		if trials[i].Converged != trials[j].Converged {
 			return trials[i].Converged
@@ -111,7 +139,9 @@ func RandomSearch(space Space, n int, seed int64, obj Objective) []Trial {
 // GridSearch evaluates the corner/midpoint grid of the space (each
 // parameter at lo, mid, hi would explode combinatorially, so the grid
 // varies one parameter at a time around the space midpoint — the
-// axis-aligned grid used for comparison).
+// axis-aligned grid used for comparison). Unlike RandomSearch it calls
+// the objective sequentially, so introspective objectives (recording
+// the visited grid, for instance) need no synchronization.
 func GridSearch(space Space, obj Objective) []Trial {
 	mid := space.midpoint()
 	var trials []Trial

@@ -1,0 +1,52 @@
+package models
+
+import (
+	"repro/internal/neural"
+	"repro/internal/par"
+)
+
+// batchSizeOf normalizes a BatchSize knob (0 means the classic
+// per-example regime).
+func batchSizeOf(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// trainEpochBatched runs one epoch of minibatch gradient accumulation:
+// the epoch order is cut into consecutive batches of size batchSize,
+// each batch's examples are backpropagated concurrently into
+// per-example shadow gradient lanes (shared read-only weights, private
+// gradient buffers), the lane gradients are merged into the main
+// parameter set in example order, and one clipped Adam step is taken
+// per batch.
+//
+// Determinism: a lane is a batch position, not a worker. Lane i always
+// holds exactly the gradients of the batch's i-th example, computed by
+// the same sequential backprop code the single-core path runs, and
+// lanes are merged in index order on the calling goroutine — so the
+// floating-point result is bit-identical for every worker count, and
+// batchSize==1 reproduces the classic sequential SGD trajectory
+// exactly (one lane, merged into zeroed main gradients, then the same
+// clip + step).
+//
+// accum(lane, exIdx) must backprop example exIdx into lane's shadow
+// parameter set; it runs on worker goroutines and must only read the
+// shared weights.
+func trainEpochBatched(order []int, batchSize, workers int, main *neural.ParamSet,
+	lanes []*neural.ParamSet, gradClip float64, opt *neural.Adam, accum func(lane, exIdx int)) {
+	for start := 0; start < len(order); start += batchSize {
+		end := start + batchSize
+		if end > len(order) {
+			end = len(order)
+		}
+		batch := order[start:end]
+		par.Map(workers, len(batch), func(i int) { accum(i, batch[i]) })
+		for i := range batch {
+			main.MergeGradsFrom(lanes[i])
+		}
+		main.ClipGrad(gradClip)
+		opt.Step()
+	}
+}

@@ -1,0 +1,198 @@
+package models
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/neural"
+)
+
+// seq2seqTrained trains a fresh model with the given batch size and
+// worker count and returns the summed post-training loss over the
+// examples plus every Translate output — the full observable state the
+// determinism contract covers.
+func seq2seqTrained(t *testing.T, batch, workers int) (*Seq2Seq, float64, [][]string) {
+	t.Helper()
+	cfg := DefaultSeq2SeqConfig()
+	cfg.EmbDim = 10
+	cfg.HidDim = 12
+	cfg.Epochs = 3
+	cfg.BatchSize = batch
+	cfg.Workers = workers
+	cfg.Seed = 11
+	m := NewSeq2Seq(cfg)
+	exs := trainingExamples()
+	m.Train(exs)
+	loss := 0.0
+	var outs [][]string
+	for _, ex := range exs {
+		loss += m.Loss(ex)
+		outs = append(outs, m.Translate(ex.NL, ex.Schema))
+	}
+	return m, loss, outs
+}
+
+func sketchTrained(t *testing.T, batch, workers int) (*Sketch, float64, [][]string) {
+	t.Helper()
+	cfg := DefaultSketchConfig()
+	cfg.EmbDim = 10
+	cfg.HidDim = 12
+	cfg.Epochs = 3
+	cfg.BatchSize = batch
+	cfg.Workers = workers
+	cfg.Seed = 11
+	m := NewSketch(cfg)
+	exs := trainingExamples()
+	m.Train(exs)
+	loss := 0.0
+	var outs [][]string
+	for _, ex := range exs {
+		loss += m.Loss(ex)
+		outs = append(outs, m.Translate(ex.NL, ex.Schema))
+	}
+	return m, loss, outs
+}
+
+// TestSeq2SeqWorkerCountInvariance is the tentpole determinism
+// contract: minibatch training from the same seed must produce
+// bit-identical models whether the batch backprop ran on one worker or
+// four.
+func TestSeq2SeqWorkerCountInvariance(t *testing.T) {
+	m1, loss1, out1 := seq2seqTrained(t, 3, 1)
+	m4, loss4, out4 := seq2seqTrained(t, 3, 4)
+	if loss1 != loss4 {
+		t.Fatalf("final loss differs across worker counts: %v vs %v", loss1, loss4)
+	}
+	if !reflect.DeepEqual(out1, out4) {
+		t.Fatalf("Translate outputs differ across worker counts:\n%v\n%v", out1, out4)
+	}
+	assertSameWeights(t, m1.ps, m4.ps)
+}
+
+func TestSketchWorkerCountInvariance(t *testing.T) {
+	m1, loss1, out1 := sketchTrained(t, 4, 1)
+	m4, loss4, out4 := sketchTrained(t, 4, 4)
+	if loss1 != loss4 {
+		t.Fatalf("final loss differs across worker counts: %v vs %v", loss1, loss4)
+	}
+	if !reflect.DeepEqual(out1, out4) {
+		t.Fatalf("Translate outputs differ across worker counts:\n%v\n%v", out1, out4)
+	}
+	assertSameWeights(t, m1.ps, m4.ps)
+}
+
+// TestBatchSizeOneMatchesManyWorkers pins the compatibility guarantee
+// of the default configuration: BatchSize 1 takes the classic
+// sequential path regardless of the worker knob, so the trajectory is
+// the seed's per-example SGD bit-for-bit.
+func TestBatchSizeOneMatchesManyWorkers(t *testing.T) {
+	m1, loss1, _ := seq2seqTrained(t, 1, 1)
+	m4, loss4, _ := seq2seqTrained(t, 1, 8)
+	if loss1 != loss4 {
+		t.Fatalf("BatchSize=1 must ignore workers: %v vs %v", loss1, loss4)
+	}
+	assertSameWeights(t, m1.ps, m4.ps)
+}
+
+// TestShadowMergeEqualsSequentialAccumulation validates the shadow-
+// gradient machinery directly: backprop of a batch into per-lane
+// shadow buffers merged in lane order must equal backprop of the same
+// examples accumulated sequentially into the main gradients. The two
+// differ only in float summation order (per-lane partial sums vs a
+// single interleaved accumulator), so the comparison is a tight
+// relative tolerance rather than bit equality — bit-for-bit
+// reproducibility is claimed across worker counts at a fixed batch
+// size (the invariance tests above), not across batching strategies.
+func TestShadowMergeEqualsSequentialAccumulation(t *testing.T) {
+	cfg := DefaultSeq2SeqConfig()
+	cfg.EmbDim = 8
+	cfg.HidDim = 9
+	cfg.Seed = 5
+	exs := trainingExamples()
+
+	build := func() *Seq2Seq {
+		m := NewSeq2Seq(cfg)
+		m.vocab = BuildVocabs(exs, 1)
+		m.build(m.vocab.Size())
+		return m
+	}
+
+	seq := build()
+	for _, ex := range exs[:3] {
+		seq.backprop(ex)
+	}
+
+	batched := build()
+	lanes := make([]*Seq2Seq, 3)
+	for i := range lanes {
+		lanes[i] = batched.workerClone()
+		lanes[i].backprop(exs[i])
+	}
+	for _, lane := range lanes {
+		batched.ps.MergeGradsFrom(lane.ps)
+	}
+
+	for k, mat := range seq.ps.Mats() {
+		got := batched.ps.Mats()[k]
+		for i := range mat.G {
+			diff := math.Abs(mat.G[i] - got.G[i])
+			scale := math.Max(math.Abs(mat.G[i]), 1)
+			if diff > 1e-12*scale {
+				t.Fatalf("grad mismatch in %s[%d]: sequential %v vs merged %v",
+					seq.ps.Names()[k], i, mat.G[i], got.G[i])
+			}
+		}
+	}
+}
+
+// TestWorkerCloneSharesWeights guards the read-only-weights invariant:
+// a clone's forward pass must see main-model weight updates instantly
+// (shared buffers), while its gradients stay private.
+func TestWorkerCloneSharesWeights(t *testing.T) {
+	cfg := DefaultSeq2SeqConfig()
+	cfg.EmbDim = 6
+	cfg.HidDim = 7
+	exs := trainingExamples()
+	m := NewSeq2Seq(cfg)
+	m.vocab = BuildVocabs(exs, 1)
+	m.build(m.vocab.Size())
+
+	c := m.workerClone()
+	mainMats := m.ps.Mats()
+	cloneMats := c.ps.Mats()
+	if len(mainMats) != len(cloneMats) {
+		t.Fatalf("clone registered %d mats, main has %d", len(cloneMats), len(mainMats))
+	}
+	for k := range mainMats {
+		if &mainMats[k].W[0] != &cloneMats[k].W[0] {
+			t.Fatalf("mat %d: clone does not share weights", k)
+		}
+		if &mainMats[k].G[0] == &cloneMats[k].G[0] {
+			t.Fatalf("mat %d: clone shares gradients", k)
+		}
+	}
+	c.backprop(exs[0])
+	for k := range mainMats {
+		for _, g := range mainMats[k].G {
+			if g != 0 {
+				t.Fatal("clone backprop leaked gradients into the main model")
+			}
+		}
+	}
+}
+
+func assertSameWeights(t *testing.T, a, b *neural.ParamSet) {
+	t.Helper()
+	am, bm := a.Mats(), b.Mats()
+	if len(am) != len(bm) {
+		t.Fatalf("param set sizes differ: %d vs %d", len(am), len(bm))
+	}
+	for k := range am {
+		for i := range am[k].W {
+			if am[k].W[i] != bm[k].W[i] {
+				t.Fatalf("weight mismatch in %s[%d]: %v vs %v", a.Names()[k], i, am[k].W[i], bm[k].W[i])
+			}
+		}
+	}
+}

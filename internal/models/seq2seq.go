@@ -21,7 +21,17 @@ type Seq2SeqConfig struct {
 	MaxOutLen int     // decoding length cap
 	GradClip  float64 // global gradient-norm clip
 	MinCount  int     // vocabulary min token count
-	Seed      int64
+	// BatchSize selects the optimizer-step granularity: examples per
+	// minibatch whose gradients are accumulated before one Adam step.
+	// 0 or 1 reproduces the original per-example SGD trajectory
+	// bit-for-bit; larger batches change the trajectory (fewer, larger
+	// steps) but are independent of Workers.
+	BatchSize int
+	// Workers bounds the goroutines that backprop a minibatch in
+	// parallel (0 = runtime.NumCPU). Results are identical for every
+	// worker count; see trainBatches.
+	Workers int
+	Seed    int64
 }
 
 // DefaultSeq2SeqConfig returns the standard small configuration.
@@ -35,6 +45,7 @@ func DefaultSeq2SeqConfig() Seq2SeqConfig {
 		MaxOutLen: 48,
 		GradClip:  5,
 		MinCount:  1,
+		BatchSize: 1,
 		Seed:      1,
 	}
 }
@@ -91,8 +102,12 @@ func (m *Seq2Seq) build(vocabSize int) {
 	m.wg = neural.NewLinear(m.ps, "wg", m.cfg.HidDim, 1, m.rng)
 }
 
-// Train implements Translator: per-example Adam steps with teacher
-// forcing, SampleCap examples per epoch.
+// Train implements Translator: teacher-forced training with minibatch
+// gradient accumulation. BatchSize 1 (the default) takes one Adam step
+// per example, exactly the original sequential SGD trajectory; larger
+// batches accumulate per-example gradients — computed concurrently by
+// up to Workers goroutines into shadow gradient lanes — before each
+// step. Results are bit-identical for every worker count.
 func (m *Seq2Seq) Train(examples []Example) {
 	if len(examples) == 0 {
 		return
@@ -100,6 +115,18 @@ func (m *Seq2Seq) Train(examples []Example) {
 	m.vocab = BuildVocabs(examples, m.cfg.MinCount)
 	m.build(m.vocab.Size())
 	opt := neural.NewAdam(m.ps, m.cfg.LR)
+
+	bs := batchSizeOf(m.cfg.BatchSize)
+	var lanes []*Seq2Seq
+	var lanePS []*neural.ParamSet
+	if bs > 1 {
+		lanes = make([]*Seq2Seq, bs)
+		lanePS = make([]*neural.ParamSet, bs)
+		for i := range lanes {
+			lanes[i] = m.workerClone()
+			lanePS[i] = lanes[i].ps
+		}
+	}
 
 	order := make([]int, len(examples))
 	for i := range order {
@@ -111,11 +138,31 @@ func (m *Seq2Seq) Train(examples []Example) {
 		if m.cfg.SampleCap > 0 && n > m.cfg.SampleCap {
 			n = m.cfg.SampleCap
 		}
-		for _, idx := range order[:n] {
-			ex := examples[idx]
-			m.step(ex, opt)
+		if bs == 1 {
+			for _, idx := range order[:n] {
+				m.step(examples[idx], opt)
+			}
+			continue
 		}
+		trainEpochBatched(order[:n], bs, m.cfg.Workers, m.ps, lanePS, m.cfg.GradClip, opt,
+			func(lane, exIdx int) { lanes[lane].backprop(examples[exIdx]) })
 	}
+}
+
+// workerClone returns a model that shares this model's weights and
+// vocabulary but backprops into its own shadow gradient buffers — the
+// per-lane worker of the minibatch loop. The clone's modules are
+// registered in the same order as build, keeping its ParamSet
+// merge-compatible with the original.
+func (m *Seq2Seq) workerClone() *Seq2Seq {
+	c := &Seq2Seq{cfg: m.cfg, vocab: m.vocab, ps: &neural.ParamSet{}}
+	c.emb = m.emb.Shadow(c.ps, "emb")
+	c.enc = m.enc.Shadow(c.ps, "enc")
+	c.dec = m.dec.Shadow(c.ps, "dec")
+	c.wc = m.wc.Shadow(c.ps, "wc")
+	c.wo = m.wo.Shadow(c.ps, "wo")
+	c.wg = m.wg.Shadow(c.ps, "wg")
+	return c
 }
 
 // encState holds the encoder pass over one input.

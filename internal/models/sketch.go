@@ -21,6 +21,12 @@ type SketchConfig struct {
 	MaxSlots  int // slot positions with dedicated scorers
 	GradClip  float64
 	MinCount  int
+	// BatchSize and Workers mirror Seq2SeqConfig: examples per
+	// accumulated minibatch (0/1 = the original per-example SGD,
+	// bit-for-bit) and the worker-pool bound for the batch backprop
+	// (0 = runtime.NumCPU; never affects results).
+	BatchSize int
+	Workers   int
 	Seed      int64
 }
 
@@ -35,6 +41,7 @@ func DefaultSketchConfig() SketchConfig {
 		MaxSlots:  10,
 		GradClip:  5,
 		MinCount:  1,
+		BatchSize: 1,
 		Seed:      1,
 	}
 }
@@ -278,6 +285,19 @@ func (m *Sketch) Train(examples []Example) {
 
 	m.buildParams()
 	opt := neural.NewAdam(m.ps, m.cfg.LR)
+
+	bs := batchSizeOf(m.cfg.BatchSize)
+	var lanes []*Sketch
+	var lanePS []*neural.ParamSet
+	if bs > 1 {
+		lanes = make([]*Sketch, bs)
+		lanePS = make([]*neural.ParamSet, bs)
+		for i := range lanes {
+			lanes[i] = m.workerClone()
+			lanePS[i] = lanes[i].ps
+		}
+	}
+
 	order := make([]int, len(examples))
 	for i := range order {
 		order[i] = i
@@ -288,12 +308,40 @@ func (m *Sketch) Train(examples []Example) {
 		if m.cfg.SampleCap > 0 && n > m.cfg.SampleCap {
 			n = m.cfg.SampleCap
 		}
-		for _, idx := range order[:n] {
-			m.step(examples[idx])
-			m.ps.ClipGrad(m.cfg.GradClip)
-			opt.Step()
+		if bs == 1 {
+			for _, idx := range order[:n] {
+				m.step(examples[idx])
+				m.ps.ClipGrad(m.cfg.GradClip)
+				opt.Step()
+			}
+			continue
 		}
+		trainEpochBatched(order[:n], bs, m.cfg.Workers, m.ps, lanePS, m.cfg.GradClip, opt,
+			func(lane, exIdx int) { lanes[lane].step(examples[exIdx]) })
 	}
+}
+
+// workerClone returns a model sharing this model's weights, vocabulary
+// and sketch inventory, with private shadow gradient buffers — one
+// lane of the minibatch loop. Module registration order matches
+// buildParams so the clone's ParamSet merges back cleanly.
+func (m *Sketch) workerClone() *Sketch {
+	c := &Sketch{
+		cfg:      m.cfg,
+		vocab:    m.vocab,
+		sketches: m.sketches,
+		byKey:    m.byKey,
+		ps:       &neural.ParamSet{},
+	}
+	c.emb = m.emb.Shadow(c.ps, "emb")
+	c.enc = m.enc.Shadow(c.ps, "enc")
+	c.clsW = m.clsW.Shadow(c.ps, "cls")
+	c.slotW = make([]*neural.Mat, len(m.slotW))
+	for k := range m.slotW {
+		c.slotW[k] = c.ps.Register(fmt.Sprintf("slotW%02d", k), m.slotW[k].Shadow())
+	}
+	c.slotF = c.ps.Register("slotF", m.slotF.Shadow())
+	return c
 }
 
 // buildParams allocates the model parameters for the current

@@ -1,6 +1,9 @@
 package neural
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // ParamSet is a registry of trainable matrices, shared by a model and
 // its optimizer.
@@ -26,6 +29,36 @@ func (p *ParamSet) Names() []string { return p.names }
 func (p *ParamSet) ZeroGrad() {
 	for _, m := range p.mats {
 		m.ZeroGrad()
+	}
+}
+
+// Shadow returns a parameter set whose matrices share this set's
+// weight buffers but own fresh gradient buffers, registered under the
+// same names in the same order. A shadow set is what a minibatch
+// worker backprops into while the shared weights stay read-only; see
+// Mat.Shadow.
+func (p *ParamSet) Shadow() *ParamSet {
+	out := &ParamSet{}
+	for i, m := range p.mats {
+		out.Register(p.names[i], m.Shadow())
+	}
+	return out
+}
+
+// MergeGradsFrom adds other's gradients into p's (matrix by matrix, in
+// registration order) and zeroes other's gradient buffers so the
+// shadow set can be reused for the next batch. The two sets must have
+// been registered in the same order with the same shapes (AddGrad
+// panics otherwise). Because callers invoke this sequentially in lane
+// order, the floating-point merge order is fixed regardless of how
+// many workers produced the shadows.
+func (p *ParamSet) MergeGradsFrom(other *ParamSet) {
+	if len(other.mats) != len(p.mats) {
+		panic(fmt.Sprintf("neural: MergeGradsFrom set size mismatch: %d vs %d", len(p.mats), len(other.mats)))
+	}
+	for i, m := range p.mats {
+		m.AddGrad(other.mats[i])
+		other.mats[i].ZeroGrad()
 	}
 }
 

@@ -58,11 +58,44 @@ func (m *Mat) ZeroGrad() {
 	}
 }
 
-// Copy returns a deep copy (weights only; grads zeroed).
+// Copy returns a deep copy of the weights only; the copy's gradient
+// buffer is freshly zeroed. Use CopyWithGrads when the gradient state
+// must travel with the weights, and Shadow when a worker needs its own
+// gradient buffer over shared weights.
 func (m *Mat) Copy() *Mat {
 	out := NewMat(m.R, m.C)
 	copy(out.W, m.W)
 	return out
+}
+
+// CopyWithGrads returns a deep copy of both the weight and the
+// gradient buffer.
+func (m *Mat) CopyWithGrads() *Mat {
+	out := m.Copy()
+	copy(out.G, m.G)
+	return out
+}
+
+// Shadow returns a matrix that shares m's weight buffer but owns a
+// fresh zeroed gradient buffer. Shadow matrices are the unit of the
+// minibatch workers' shadow-gradient accumulation: during a batch the
+// shared weights are read-only, each worker backprops into its own G,
+// and the shadows are merged in deterministic order via AddGrad.
+func (m *Mat) Shadow() *Mat {
+	return &Mat{R: m.R, C: m.C, W: m.W, G: make([]float64, len(m.G))}
+}
+
+// AddGrad accumulates other's gradient buffer into m's (G += other.G).
+// It panics when the shapes disagree — merging shadow gradients across
+// mismatched parameter sets is a programming error, not a recoverable
+// condition.
+func (m *Mat) AddGrad(other *Mat) {
+	if other.R != m.R || other.C != m.C || len(other.G) != len(m.G) {
+		panic(fmt.Sprintf("neural: AddGrad shape mismatch: %v += %v", m, other))
+	}
+	for i, g := range other.G {
+		m.G[i] += g
+	}
 }
 
 // String summarizes the matrix shape.
@@ -142,7 +175,18 @@ func Tanh(src, dst []float64) {
 }
 
 // Softmax writes the softmax of src into dst and returns dst.
+//
+// The kernel is a decoder hot path (every decode step runs it over the
+// vocabulary and over the attention scores), so it is written to
+// minimize passes: one max scan, one fused exp+sum pass, and a final
+// normalization that is skipped entirely when the exponentials already
+// sum to exactly 1 (a one-element input, or a numerically saturated
+// distribution) — multiplying by 1/1 would be a bit-identical no-op.
 func Softmax(src, dst []float64) []float64 {
+	if len(src) == 1 {
+		dst[0] = 1
+		return dst
+	}
 	max := math.Inf(-1)
 	for _, v := range src {
 		if v > max {
@@ -155,9 +199,11 @@ func Softmax(src, dst []float64) []float64 {
 		dst[i] = e
 		sum += e
 	}
-	inv := 1.0 / sum
-	for i := range dst {
-		dst[i] *= inv
+	if sum != 1 {
+		inv := 1.0 / sum
+		for i := range dst {
+			dst[i] *= inv
+		}
 	}
 	return dst
 }

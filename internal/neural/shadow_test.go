@@ -1,0 +1,167 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+func TestCopyVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatRand(3, 4, rng)
+	for i := range m.G {
+		m.G[i] = float64(i) + 0.5
+	}
+
+	c := m.Copy()
+	for i := range c.W {
+		if c.W[i] != m.W[i] {
+			t.Fatal("Copy lost weights")
+		}
+	}
+	for _, g := range c.G {
+		if g != 0 {
+			t.Fatal("Copy must zero gradients")
+		}
+	}
+	c.W[0] = 99
+	if m.W[0] == 99 {
+		t.Fatal("Copy must not share the weight buffer")
+	}
+
+	cg := m.CopyWithGrads()
+	for i := range cg.G {
+		if cg.G[i] != m.G[i] {
+			t.Fatal("CopyWithGrads lost gradients")
+		}
+	}
+	cg.G[0] = -1
+	if m.G[0] == -1 {
+		t.Fatal("CopyWithGrads must not share the gradient buffer")
+	}
+}
+
+func TestShadowSharesWeightsOwnsGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatRand(2, 3, rng)
+	s := m.Shadow()
+	s.G[0] = 7
+	if m.G[0] != 0 {
+		t.Fatal("shadow gradient leaked into the original")
+	}
+	m.W[0] = 42
+	if s.W[0] != 42 {
+		t.Fatal("shadow must share the weight buffer")
+	}
+}
+
+func TestAddGrad(t *testing.T) {
+	a := NewMat(2, 2)
+	b := NewMat(2, 2)
+	for i := range b.G {
+		a.G[i] = 1
+		b.G[i] = float64(i)
+	}
+	a.AddGrad(b)
+	for i := range a.G {
+		if a.G[i] != 1+float64(i) {
+			t.Fatalf("AddGrad[%d] = %v", i, a.G[i])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddGrad must panic on a shape mismatch")
+		}
+	}()
+	a.AddGrad(NewMat(2, 3))
+}
+
+func TestParamSetShadowAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ps := &ParamSet{}
+	ps.Register("a", NewMatRand(2, 2, rng))
+	ps.Register("b", NewMatRand(3, 1, rng))
+
+	sh := ps.Shadow()
+	if len(sh.Mats()) != 2 || sh.Names()[0] != "a" || sh.Names()[1] != "b" {
+		t.Fatal("shadow set registration order broken")
+	}
+	for k, m := range sh.Mats() {
+		m.G[0] = float64(k) + 1
+	}
+	ps.MergeGradsFrom(sh)
+	for k, m := range ps.Mats() {
+		if m.G[0] != float64(k)+1 {
+			t.Fatalf("merge lost grads of mat %d", k)
+		}
+	}
+	for _, m := range sh.Mats() {
+		for _, g := range m.G {
+			if g != 0 {
+				t.Fatal("merge must zero the shadow grads for reuse")
+			}
+		}
+	}
+}
+
+// naiveSoftmax is the pre-optimization reference implementation.
+func naiveSoftmax(src, dst []float64) []float64 {
+	max := math.Inf(-1)
+	for _, v := range src {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range src {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1.0 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+	return dst
+}
+
+func TestSoftmaxMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 3, 17, 256} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * 10
+		}
+		got := Softmax(src, NewVec(n))
+		want := naiveSoftmax(src, NewVec(n))
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: Softmax[%d] = %v, want %v (must stay bit-identical)", n, i, got[i], want[i])
+			}
+		}
+	}
+	// Degenerate single-element input is exactly 1.
+	if out := Softmax([]float64{-1e300}, NewVec(1)); out[0] != 1 {
+		t.Fatalf("softmax of singleton = %v", out[0])
+	}
+}
+
+// BenchmarkSoftmax covers the two hot shapes: attention scores over a
+// short input and vocabulary logits over a few thousand entries.
+func BenchmarkSoftmax(b *testing.B) {
+	for _, n := range []int{32, 4096} {
+		src := make([]float64, n)
+		rng := rand.New(rand.NewSource(5))
+		for i := range src {
+			src[i] = rng.NormFloat64() * 4
+		}
+		dst := NewVec(n)
+		b.Run("n"+strconv.Itoa(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Softmax(src, dst)
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Package par is the repository's shared concurrency substrate: a
+// bounded worker pool sized by runtime.NumCPU, an ordered fan-out /
+// fan-in Map, and deterministic seed splitting.
+//
+// Determinism contract. Every parallel construct in this repository is
+// required to produce bit-identical results regardless of the worker
+// count (DESIGN.md, "Parallel substrate"). par supports that in two
+// ways:
+//
+//   - Map(workers, n, fn) assigns work by item index, not by worker:
+//     fn(i) writes its result into slot i of a caller-owned slice, so
+//     the assembled output is in item order no matter which goroutine
+//     ran which item, and the worker count only changes wall-clock
+//     time, never results.
+//   - SplitSeed(base, i) derives the i-th child seed from a base seed
+//     with a SplitMix64 mix, so each item (a training example, a
+//     hyperopt candidate) owns an RNG stream that depends only on its
+//     index — never on scheduling order or pool size.
+//
+// Floating-point reductions stay deterministic as long as the merge
+// happens in item order on the caller's side after Map returns (see
+// neural.ParamSet.MergeGradsFrom and the minibatch loop in
+// internal/models).
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Count resolves a worker-count knob: values <= 0 select
+// runtime.NumCPU(), anything else is returned as given. Every -workers
+// flag and Workers config field in the repository funnels through this
+// so "0 = all cores" means the same thing everywhere.
+func Count(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Map runs fn(i) for every i in [0, n) on a bounded pool of at most
+// workers goroutines and returns once all calls finished. Items are
+// handed out in index order. fn must write any result it produces into
+// a caller-owned, index-addressed slot (never append to a shared
+// slice), which keeps the assembled output ordered and race-free.
+//
+// workers <= 1 (or n <= 1) runs inline on the calling goroutine — the
+// zero-overhead path that also guarantees the sequential trajectory is
+// literally the same code the parallel path runs per item.
+//
+// A panic inside fn is captured and re-raised on the calling goroutine
+// after the pool drains, so callers observe the same crash semantics
+// as a sequential loop instead of a process abort from a worker.
+func Map(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Count(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("par: worker panic: %v", panicked))
+	}
+}
+
+// SplitSeed derives the i-th child seed from base using a SplitMix64
+// finalizer over base and index. Child streams are decorrelated from
+// each other and from the base stream, and the derivation depends only
+// on (base, i) — not on worker count or scheduling — so seeded
+// parallel stages reproduce bit-identically at any pool size.
+func SplitSeed(base int64, i int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(i)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

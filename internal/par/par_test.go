@@ -1,0 +1,98 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCount(t *testing.T) {
+	if Count(0) != runtime.NumCPU() || Count(-3) != runtime.NumCPU() {
+		t.Fatal("non-positive counts should resolve to NumCPU")
+	}
+	if Count(5) != 5 {
+		t.Fatal("positive counts pass through")
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out := make([]int, 100)
+		Map(workers, len(out), func(i int) { out[i] = i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapZeroAndOneItems(t *testing.T) {
+	Map(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	calls := 0
+	Map(4, 1, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1 calls = %d", calls)
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int64
+	var mu sync.Mutex
+	Map(workers, 50, func(i int) {
+		n := atomic.AddInt64(&cur, 1)
+		mu.Lock()
+		if n > peak {
+			peak = n
+		}
+		mu.Unlock()
+		atomic.AddInt64(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds pool size %d", peak, workers)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic not propagated")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v lost the cause", r)
+		}
+	}()
+	Map(4, 10, func(i int) {
+		if i == 5 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for i := 0; i < 1000; i++ {
+		s := SplitSeed(42, i)
+		if s != SplitSeed(42, i) {
+			t.Fatal("SplitSeed not deterministic")
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("different bases should split differently")
+	}
+	// Child streams should not be trivially correlated with the base.
+	a := rand.New(rand.NewSource(SplitSeed(7, 0))).Float64()
+	b := rand.New(rand.NewSource(SplitSeed(7, 1))).Float64()
+	if a == b {
+		t.Fatal("adjacent child streams coincide")
+	}
+}
