@@ -1,17 +1,20 @@
 // Command dbpal-generate runs the DBPal training pipeline for a schema
-// and writes the synthesized NL–SQL pairs as tab-separated lines
-// (NL, SQL, template id, class) to stdout or a file — the corpus any
-// pluggable model can train on.
+// and streams the synthesized NL–SQL pairs as tab-separated lines
+// (NL, SQL, template id, class; -prov appends stage and origin) to
+// stdout or a file — the corpus any pluggable model can train on.
+// Pairs are written as the stage graph produces them, so memory stays
+// constant no matter the corpus size.
 //
 //	dbpal-generate -schema patients -size 8 > pairs.tsv
+//	dbpal-generate -schema geo -stats 2>stats.json > pairs.tsv
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	dbpal "repro"
 	"repro/internal/patients"
@@ -24,9 +27,12 @@ func main() {
 		out        = flag.String("o", "", "output file (default stdout)")
 		seed       = flag.Int64("seed", 1, "generation seed")
 		size       = flag.Int("size", 0, "override sizeSlotFills (instances per template)")
-		noAugment  = flag.Bool("no-augment", false, "skip the augmentation step")
-		noLemma    = flag.Bool("no-lemmatize", false, "skip the lemmatization step")
-		stats      = flag.Bool("stats", false, "print per-class counts to stderr")
+		workers    = flag.Int("workers", 0, "parallel stage workers, 0 = all cores (output is identical at any value)")
+		noAugment  = flag.Bool("no-augment", false, "drop the augmentation stage")
+		noLemma    = flag.Bool("no-lemmatize", false, "drop the lemmatization stage")
+		noDedup    = flag.Bool("no-dedup", false, "drop the final exact-duplicate filter")
+		prov       = flag.Bool("prov", false, "append provenance columns: originating stage and variant origin")
+		stats      = flag.Bool("stats", false, "print a JSON report (pair counts, per-stage instrumentation) to stderr")
 	)
 	flag.Parse()
 
@@ -39,15 +45,22 @@ func main() {
 	if *size > 0 {
 		params.Instantiation.SizeSlotFills = *size
 	}
-	if *noAugment {
-		params.Augmentation.SizePara = 0
-		params.Augmentation.NumPara = 0
-		params.Augmentation.NumMissing = 0
-		params.Augmentation.RandDropP = 0
-	}
-	params.Lemmatize = !*noLemma
 
-	pairs := dbpal.GenerateTrainingData(s, params, *seed)
+	// Structural choices are stage-list edits: each -no-* flag removes
+	// a stage from the default composition.
+	p := dbpal.NewPipeline(s, params, *seed)
+	p.Workers = *workers
+	stages := []dbpal.Stage{p.GenerateStage()}
+	if !*noAugment {
+		stages = append(stages, p.AugmentStage())
+	}
+	if !*noLemma {
+		stages = append(stages, dbpal.LemmaStage())
+	}
+	if !*noDedup {
+		stages = append(stages, dbpal.DedupStage())
+	}
+	g := p.Graph(stages...)
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
@@ -62,17 +75,35 @@ func main() {
 	defer w.Flush()
 
 	classCounts := map[string]int{}
-	for _, p := range pairs {
-		fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", p.NL, p.SQL, p.TemplateID, p.Class)
-		classCounts[p.Class.String()]++
-	}
-	if *stats {
-		fmt.Fprintf(os.Stderr, "schema=%s pairs=%d\n", s.Name, len(pairs))
-		var parts []string
-		for k, v := range classCounts {
-			parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	pairs := 0
+	err := g.Stream(func(q dbpal.Pair) error {
+		pairs++
+		classCounts[q.Class.String()]++
+		if *prov {
+			_, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n", q.NL, q.SQL, q.TemplateID, q.Class, q.Stage, q.Origin)
+			return err
 		}
-		fmt.Fprintln(os.Stderr, strings.Join(parts, " "))
+		_, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", q.NL, q.SQL, q.TemplateID, q.Class)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *stats {
+		report := struct {
+			Schema  string             `json:"schema"`
+			Pairs   int                `json:"pairs"`
+			Classes map[string]int     `json:"classes"`
+			Stages  []dbpal.StageStats `json:"stages"`
+		}{s.Name, pairs, classCounts, g.Stats()}
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -10,7 +10,8 @@
 // The package is a facade over the internal subsystems:
 //
 //	schema      annotated relational schemas + join graph
-//	core        the training pipeline (generate -> augment -> lemmatize)
+//	pipeline    the streaming stage substrate (Stage, Graph, Stats)
+//	core        the training pipeline (generate -> augment -> lemmatize -> dedup)
 //	models      pluggable translators (seq2seq with copy; sketch-guided)
 //	runtime     parameter handling, post-processing, end-to-end Ask
 //	engine      in-memory SQL execution
@@ -24,12 +25,22 @@
 //	model.Train(dbpal.TrainingExamples(pairs, s))
 //	nli := dbpal.NewInterface(db, model)
 //	result, sql, _ := nli.Ask("show me all cities in massachusetts")
+//
+// The training pipeline is composed from streaming stages; callers who
+// need more than GenerateTrainingData can edit the stage list (ablate,
+// reorder, observe) or stream pairs in constant memory:
+//
+//	p := dbpal.NewPipeline(s, dbpal.DefaultParams(), 1)
+//	g := p.Graph(p.GenerateStage(), p.AugmentStage(), dbpal.LemmaStage(), dbpal.DedupStage())
+//	err := g.Stream(func(pair dbpal.Pair) error { return write(pair) })
+//	stats := g.Stats() // per-stage pairs in/out, wall time, dedup hits
 package dbpal
 
 import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/models"
+	"repro/internal/pipeline"
 	"repro/internal/runtime"
 	"repro/internal/schema"
 )
@@ -54,10 +65,17 @@ type (
 	// Params collects every tunable knob of the data-generation
 	// procedure (the paper's Table 1).
 	Params = core.Params
-	// Pair is one synthesized NL–SQL training pair.
+	// Pair is one synthesized NL–SQL training pair (with provenance:
+	// the stage that created it and the variant origin).
 	Pair = core.Pair
 	// Pipeline is a configured training-data pipeline.
 	Pipeline = core.Pipeline
+	// Stage is one streaming transform in a pipeline graph.
+	Stage = pipeline.Stage
+	// Graph is a runnable chain of stages.
+	Graph = pipeline.Graph
+	// StageStats is one stage's instrumentation snapshot.
+	StageStats = pipeline.Stats
 
 	// Translator is the pluggable model contract.
 	Translator = models.Translator
@@ -101,11 +119,34 @@ func DefaultSeq2SeqConfig() Seq2SeqConfig { return models.DefaultSeq2SeqConfig()
 func DefaultSketchConfig() SketchConfig { return models.DefaultSketchConfig() }
 
 // GenerateTrainingData runs the full DBPal pipeline (generate ->
-// augment -> lemmatize) for the schema and returns the synthesized
-// training pairs. Deterministic given seed.
+// augment -> lemmatize -> dedup) for the schema and returns the
+// synthesized training pairs. Deterministic given seed, at any worker
+// count.
 func GenerateTrainingData(s *Schema, p Params, seed int64) []Pair {
 	return core.New(s, p, seed).Run()
 }
+
+// StreamTrainingData runs the full pipeline, handing each pair to emit
+// in corpus order without materializing the corpus — constant memory
+// at any size. It returns the first error emit returns.
+func StreamTrainingData(s *Schema, p Params, seed int64, emit func(Pair) error) error {
+	return core.New(s, p, seed).Stream(emit)
+}
+
+// NewPipeline returns a configured pipeline whose stage list can be
+// edited before running (see Pipeline.Graph and the stage
+// constructors).
+func NewPipeline(s *Schema, p Params, seed int64) *Pipeline {
+	return core.New(s, p, seed)
+}
+
+// LemmaStage returns the word-form-normalization stage for custom
+// stage lists.
+func LemmaStage() Stage { return core.LemmaStage() }
+
+// DedupStage returns the exact-duplicate filter stage for custom stage
+// lists.
+func DedupStage() Stage { return core.DedupStage() }
 
 // TrainingExamples converts pipeline pairs into model training
 // examples carrying the schema-token context.

@@ -105,8 +105,34 @@ func TestPublicHelpers(t *testing.T) {
 		t.Fatal("value constructors broken")
 	}
 	p := dbpal.DefaultParams()
-	if p.Instantiation.SizeSlotFills <= 0 || !p.Lemmatize {
+	if p.Instantiation.SizeSlotFills <= 0 || p.Augmentation.NumPara <= 0 {
 		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}
+
+// TestStreamMatchesGenerate pins the facade's streaming entry point to
+// the batch one: same pairs, same order, no materialized corpus.
+func TestStreamMatchesGenerate(t *testing.T) {
+	s := citySchema()
+	params := dbpal.DefaultParams()
+	params.Instantiation.SizeSlotFills = 2
+	want := dbpal.GenerateTrainingData(s, params, 5)
+	i := 0
+	err := dbpal.StreamTrainingData(s, params, 5, func(p dbpal.Pair) error {
+		if i >= len(want) || p != want[i] {
+			t.Fatalf("streamed pair %d diverges from batch output", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != len(want) {
+		t.Fatalf("streamed %d pairs, batch produced %d", i, len(want))
+	}
+	if want[0].Stage == "" || want[0].Origin == "" {
+		t.Fatalf("missing provenance on %+v", want[0])
 	}
 }
 

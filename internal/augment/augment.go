@@ -59,41 +59,86 @@ func DefaultParams() Params {
 	}
 }
 
-// Augmenter expands training pairs for one schema.
+// Provenance values stamped on augmenter-created variants (the
+// Pair.Stage / Pair.Origin fields); pass-through originals keep the
+// generator's provenance.
+const (
+	StageAugment      = "augment"
+	OriginParaphrase  = "paraphrase"
+	OriginDropout     = "dropout"
+	OriginComparative = "comparative"
+)
+
+// Augmenter expands training pairs for one schema. It is a stateful
+// stream transform: one RNG and one dedup map span the augmenter's
+// lifetime, so feeding pairs one at a time through Step produces
+// exactly the corpus the batch Augment call produces. An Augmenter is
+// single-use — build a fresh one per pipeline run.
 type Augmenter struct {
 	Schema *schema.Schema
 	Params Params
 	rng    *rand.Rand
+	seen   map[string]bool
+	counts map[string]int64
 }
 
 // New returns an augmenter.
 func New(s *schema.Schema, p Params, seed int64) *Augmenter {
-	return &Augmenter{Schema: s, Params: p, rng: rand.New(rand.NewSource(seed))}
+	return &Augmenter{
+		Schema: s, Params: p,
+		rng:    rand.New(rand.NewSource(seed)),
+		seen:   map[string]bool{},
+		counts: map[string]int64{},
+	}
+}
+
+// Step augments one pair: it emits the pair itself followed by its
+// variants (comparatives, paraphrases, word drops — in that order, the
+// order the RNG stream is consumed in), deduplicated against
+// everything the augmenter has emitted so far.
+func (a *Augmenter) Step(p generator.Pair, emit func(generator.Pair)) {
+	a.add(p, emit, "")
+	for _, v := range a.comparatives(p) {
+		a.add(v, emit, OriginComparative)
+	}
+	for _, v := range a.paraphrases(p) {
+		a.add(v, emit, OriginParaphrase)
+	}
+	for _, v := range a.dropWords(p) {
+		a.add(v, emit, OriginDropout)
+	}
+}
+
+// add emits p unless its (NL, SQL) text was already emitted, counting
+// per-origin emissions and dedup hits.
+func (a *Augmenter) add(p generator.Pair, emit func(generator.Pair), origin string) {
+	if a.seen[p.Key()] {
+		a.counts["dedup_hits"]++
+		return
+	}
+	a.seen[p.Key()] = true
+	if origin != "" {
+		a.counts[origin]++
+	}
+	emit(p)
+}
+
+// Counters reports per-origin variant counts and internal dedup hits
+// (the pipeline surfaces them in the augment stage's Stats snapshot).
+func (a *Augmenter) Counters() map[string]int64 {
+	out := make(map[string]int64, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
 }
 
 // Augment returns the input pairs followed by all generated duplicate
-// variations, deduplicated.
+// variations, deduplicated — the batch form of Step.
 func (a *Augmenter) Augment(pairs []generator.Pair) []generator.Pair {
 	out := make([]generator.Pair, 0, len(pairs)*2)
-	seen := map[string]bool{}
-	add := func(p generator.Pair) {
-		key := p.NL + "\x1f" + p.SQL
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, p)
-		}
-	}
 	for _, p := range pairs {
-		add(p)
-		for _, v := range a.comparatives(p) {
-			add(v)
-		}
-		for _, v := range a.paraphrases(p) {
-			add(v)
-		}
-		for _, v := range a.dropWords(p) {
-			add(v)
-		}
+		a.Step(p, func(q generator.Pair) { out = append(out, q) })
 	}
 	return out
 }
@@ -141,6 +186,7 @@ func (a *Augmenter) paraphrases(p generator.Pair) []generator.Pair {
 			out = append(out, generator.Pair{
 				NL: strings.Join(nt, " "), SQL: p.SQL,
 				TemplateID: p.TemplateID, Class: p.Class,
+				Stage: StageAugment, Origin: OriginParaphrase,
 			})
 		}
 	}
@@ -187,6 +233,7 @@ func (a *Augmenter) dropWords(p generator.Pair) []generator.Pair {
 		out = append(out, generator.Pair{
 			NL: strings.Join(nt, " "), SQL: p.SQL,
 			TemplateID: p.TemplateID, Class: p.Class,
+			Stage: StageAugment, Origin: OriginDropout,
 		})
 	}
 	return out
@@ -235,6 +282,7 @@ func (a *Augmenter) comparatives(p generator.Pair) []generator.Pair {
 			out = append(out, generator.Pair{
 				NL: strings.TrimSpace(nl), SQL: p.SQL,
 				TemplateID: p.TemplateID, Class: p.Class,
+				Stage: StageAugment, Origin: OriginComparative,
 			})
 			break
 		}

@@ -1,16 +1,25 @@
 // Package core implements the DBPal training pipeline — the paper's
 // primary contribution. Given only a database schema (plus the
 // reusable seed templates and slot-fill lexicons), it synthesizes a
-// training corpus of NL–SQL pairs in three steps:
+// training corpus of NL–SQL pairs from composable streaming stages
+// (internal/pipeline):
 //
-//  1. Generator: balanced template instantiation (internal/generator),
-//  2. Augmentation: automatic paraphrasing, word dropout, and
+//  1. generate   balanced template instantiation (internal/generator),
+//  2. augment    automatic paraphrasing, word dropout, and
 //     domain-aware comparatives (internal/augment),
-//  3. Lemmatizer: normalization of word forms (internal/lemma).
+//  3. lemmatize  normalization of word forms (internal/lemma),
+//  4. dedup      drop exact (NL, SQL) duplicates that survive
+//     lemmatization (distinct surface forms can collapse).
 //
-// The pipeline is deterministic given its seed, and fully pluggable:
-// the produced pairs feed any Translator implementation (see
-// internal/models).
+// The pipeline is deterministic given its seed and worker-invariant:
+// stages stream pairs through bounded channels, so corpora of any size
+// generate in constant memory, and the default composition reproduces
+// the historical monolithic generate→augment→lemmatize pass
+// byte-for-byte (see the golden equivalence test). It is fully
+// pluggable in the paper's sense twice over: the produced pairs feed
+// any Translator implementation (internal/models), and the stage list
+// itself can be edited — ablated, reordered, extended, observed — by
+// any caller without touching this package.
 package core
 
 import (
@@ -20,6 +29,7 @@ import (
 	"repro/internal/augment"
 	"repro/internal/generator"
 	"repro/internal/lemma"
+	"repro/internal/pipeline"
 	"repro/internal/schema"
 	"repro/internal/templates"
 	"repro/internal/tokens"
@@ -31,13 +41,12 @@ type Pair = generator.Pair
 // Params collects every tunable knob of the data-generation procedure
 // (the paper's Table 1): instantiation parameters and augmentation
 // parameters. These are the hyperparameters the optimization procedure
-// (internal/hyperopt) searches over.
+// (internal/hyperopt) searches over. Structural choices that are not
+// Table-1 knobs — lemmatization on/off, dedup on/off — are expressed
+// as stage-list edits instead (see Stages).
 type Params struct {
 	Instantiation generator.Params
 	Augmentation  augment.Params
-	// Lemmatize controls the final normalization step (on by default;
-	// exposed for the ablation benchmark).
-	Lemmatize bool
 }
 
 // DefaultParams returns the shipped defaults, empirically determined
@@ -46,12 +55,13 @@ func DefaultParams() Params {
 	return Params{
 		Instantiation: generator.DefaultParams(),
 		Augmentation:  augment.DefaultParams(),
-		Lemmatize:     true,
 	}
 }
 
 // Pipeline is a configured DBPal training-data pipeline for one
-// schema.
+// schema. It composes single-use stages over the streaming substrate;
+// every Run/Stream builds fresh stages, so one Pipeline value can be
+// run repeatedly and always reproduces the same corpus.
 type Pipeline struct {
 	Schema *schema.Schema
 	Params Params
@@ -59,6 +69,16 @@ type Pipeline struct {
 	// Templates restricts the seed library when non-nil (used by the
 	// Figure-3 seed-template-fraction experiment).
 	Templates []templates.Template
+	// Workers bounds the pool of parallel stages (0 = all cores). The
+	// corpus is bit-identical at any value.
+	Workers int
+	// Cache, when non-nil, memoizes the generate stage's output keyed
+	// by (schema, instantiation params, template set, seed) — the
+	// hyperopt regime, where many trials share instantiation settings
+	// and differ only downstream.
+	Cache *GenCache
+
+	stats []pipeline.Stats
 }
 
 // New returns a pipeline with the given parameters.
@@ -66,25 +86,92 @@ func New(s *schema.Schema, p Params, seed int64) *Pipeline {
 	return &Pipeline{Schema: s, Params: p, Seed: seed}
 }
 
-// Run executes generate -> augment -> lemmatize and returns the
-// training pairs.
-func (p *Pipeline) Run() []Pair {
-	var g *generator.Generator
-	if p.Templates != nil {
-		g = generator.NewWithTemplates(p.Schema, p.Params.Instantiation, p.Seed, p.Templates)
-	} else {
-		g = generator.New(p.Schema, p.Params.Instantiation, p.Seed)
+// GenerateStage returns the balanced template-instantiation source
+// stage (memoized through Cache when one is configured).
+func (p *Pipeline) GenerateStage() pipeline.Stage {
+	if p.Cache != nil {
+		return p.Cache.stage(p)
 	}
-	pairs := g.Generate()
-	a := augment.New(p.Schema, p.Params.Augmentation, p.Seed+1)
-	pairs = a.Augment(pairs)
-	if p.Params.Lemmatize {
-		for i := range pairs {
-			pairs[i].NL = LemmatizeNL(pairs[i].NL)
-		}
-	}
-	return pairs
+	return pipeline.Source(generator.StageGenerate, func(emit func(Pair)) {
+		p.newGenerator().Stream(emit)
+	})
 }
+
+func (p *Pipeline) newGenerator() *generator.Generator {
+	if p.Templates != nil {
+		return generator.NewWithTemplates(p.Schema, p.Params.Instantiation, p.Seed, p.Templates)
+	}
+	return generator.New(p.Schema, p.Params.Instantiation, p.Seed)
+}
+
+// AugmentStage returns the paraphrase/dropout/comparative expansion
+// stage. It is sequential and stateful (one RNG stream in arrival
+// order), preserving the historical augmenter trajectory exactly.
+func (p *Pipeline) AugmentStage() pipeline.Stage {
+	a := augment.New(p.Schema, p.Params.Augmentation, p.Seed+1)
+	return pipeline.FuncWithCounters(augment.StageAugment, a.Step, a.Counters)
+}
+
+// LemmaStage returns the word-form normalization stage — a pure
+// per-pair map, parallelized across the worker pool with
+// order-preserving emission.
+func LemmaStage() pipeline.Stage {
+	return pipeline.Map("lemmatize", func(q Pair) Pair {
+		q.NL = LemmatizeNL(q.NL)
+		return q
+	})
+}
+
+// DedupStage returns the exact-duplicate filter (first occurrence
+// wins, drops counted as "dedup_hits"). The augmenter dedups its own
+// output, but lemmatization can collapse distinct surface forms into
+// identical (NL, SQL) pairs afterwards; this stage keeps the final
+// corpus duplicate-free.
+func DedupStage() pipeline.Stage { return pipeline.Dedup() }
+
+// Stages returns the default composition: generate → augment →
+// lemmatize → dedup. The slice is freshly built (stages are
+// single-use) and free to edit before handing it to Graph — drop the
+// augment stage for a no-augmentation ablation, drop lemmatize to keep
+// surface forms, insert a Tee to observe the stream.
+func (p *Pipeline) Stages() []pipeline.Stage {
+	return []pipeline.Stage{p.GenerateStage(), p.AugmentStage(), LemmaStage(), DedupStage()}
+}
+
+// Graph wires a stage list (the default composition when none is
+// given) into a runnable graph bound to the pipeline's worker budget.
+func (p *Pipeline) Graph(stages ...pipeline.Stage) *pipeline.Graph {
+	if len(stages) == 0 {
+		stages = p.Stages()
+	}
+	return pipeline.New(p.Workers, stages...)
+}
+
+// Run executes the default composition and returns the training
+// pairs. Stats holds the per-stage snapshot afterwards.
+func (p *Pipeline) Run() []Pair {
+	g := p.Graph()
+	out := g.Collect()
+	p.stats = g.Stats()
+	return out
+}
+
+// Stream executes the default composition, handing each pair to emit
+// in corpus order without materializing the corpus — constant memory
+// at any size. It returns the first error emit returns (after
+// draining the stream).
+func (p *Pipeline) Stream(emit func(Pair) error) error {
+	g := p.Graph()
+	err := g.Stream(emit)
+	p.stats = g.Stats()
+	return err
+}
+
+// Stats returns the per-stage instrumentation snapshot (pairs in/out,
+// wall time, dedup hits, per-origin variant counts) of the last Run or
+// Stream. Nil before the first run. For a custom stage list built via
+// Graph, read the graph's own Stats instead.
+func (p *Pipeline) Stats() []pipeline.Stats { return p.stats }
 
 // LemmatizeNL tokenizes and lemmatizes an NL string the same way for
 // training data and runtime input (paper §2.2.3 / §4.1).

@@ -18,6 +18,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/par"
 	"repro/internal/patients"
+	"repro/internal/pipeline"
 	"repro/internal/schema"
 	"repro/internal/spider"
 	"repro/internal/sqlast"
@@ -164,12 +165,13 @@ func sqlTokensNormalized(q *sqlast.Query) []string {
 	return models.NormalizeSQLTokens(q.Tokens())
 }
 
-// pipelineData runs the DBPal pipeline on one schema and returns up to
-// cap examples (deterministically subsampled) plus the SQL strings of
-// the kept pairs (for pattern-coverage analysis).
-func pipelineData(s *schema.Schema, params core.Params, cap int, seed int64) ([]models.Example, []string) {
-	p := core.New(s, params, seed)
-	pairs := p.Run()
+// pipelineData runs the stage-composed DBPal pipeline on one schema
+// and returns up to cap examples (deterministically subsampled) plus
+// the SQL strings of the kept pairs (for pattern-coverage analysis).
+// cache may be nil; when shared across calls it memoizes the generate
+// stage for repeated (schema, instantiation, seed) keys.
+func pipelineData(s *schema.Schema, params core.Params, cap int, seed int64, workers int, cache *core.GenCache) ([]models.Example, []string) {
+	pairs := pipelinePairs(s, params, seed, workers, cache, nil)
 	pairs = subsamplePairs(pairs, cap, seed+17)
 	exs := models.PairExamples(pairs, s)
 	sqls := make([]string, len(pairs))
@@ -178,6 +180,25 @@ func pipelineData(s *schema.Schema, params core.Params, cap int, seed int64) ([]
 	}
 	return exs, sqls
 }
+
+// pipelinePairs runs one pipeline with an optional stage-list edit
+// (stages receives the configured pipeline and returns the stage list
+// to run; nil selects the default generate→augment→lemmatize→dedup
+// composition). This is how the ablations drop whole steps instead of
+// zeroing their parameters.
+func pipelinePairs(s *schema.Schema, params core.Params, seed int64, workers int, cache *core.GenCache, stages stageEdit) []core.Pair {
+	p := core.New(s, params, seed)
+	p.Workers = workers
+	p.Cache = cache
+	if stages == nil {
+		return p.Run()
+	}
+	return p.Graph(stages(p)...).Collect()
+}
+
+// stageEdit rewrites a pipeline's stage list (an ablation expressed
+// structurally); nil means the default composition.
+type stageEdit func(p *core.Pipeline) []pipeline.Stage
 
 func subsamplePairs(pairs []core.Pair, cap int, seed int64) []core.Pair {
 	if cap <= 0 || len(pairs) <= cap {
@@ -213,13 +234,13 @@ func RunSpider(s Scale) *SpiderExperiment {
 	var dbpalTrain []models.Example
 	var dbpalSQLs []string
 	for i, sch := range spider.TrainSchemas() {
-		exs, sqls := pipelineData(sch, s.Pipeline, s.PipelinePerSchema, s.Seed+int64(i)*31)
+		exs, sqls := pipelineData(sch, s.Pipeline, s.PipelinePerSchema, s.Seed+int64(i)*31, s.Workers, nil)
 		dbpalTrain = append(dbpalTrain, exs...)
 		dbpalSQLs = append(dbpalSQLs, sqls...)
 	}
 	var dbpalTest []models.Example
 	for i, sch := range spider.TestSchemas() {
-		exs, sqls := pipelineData(sch, s.Pipeline, s.PipelinePerSchema, s.Seed+5000+int64(i)*31)
+		exs, sqls := pipelineData(sch, s.Pipeline, s.PipelinePerSchema, s.Seed+5000+int64(i)*31, s.Workers, nil)
 		dbpalTest = append(dbpalTest, exs...)
 		dbpalSQLs = append(dbpalSQLs, sqls...)
 	}
@@ -308,10 +329,10 @@ func RunPatients(s Scale) *PatientsExperiment {
 
 	var dbpalTrain []models.Example
 	for i, sch := range spider.TrainSchemas() {
-		exs, _ := pipelineData(sch, s.Pipeline, s.PipelinePerSchema, s.Seed+int64(i)*31)
+		exs, _ := pipelineData(sch, s.Pipeline, s.PipelinePerSchema, s.Seed+int64(i)*31, s.Workers, nil)
 		dbpalTrain = append(dbpalTrain, exs...)
 	}
-	patientsExs, _ := pipelineData(patients.Schema(), s.Pipeline, 2*s.PipelinePerSchema, s.Seed+777)
+	patientsExs, _ := pipelineData(patients.Schema(), s.Pipeline, 2*s.PipelinePerSchema, s.Seed+777, s.Workers, nil)
 
 	datasets := map[Config][]models.Example{
 		Baseline:   base,

@@ -12,6 +12,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/par"
 	"repro/internal/patients"
+	"repro/internal/pipeline"
 	"repro/internal/spider"
 	"repro/internal/sqlast"
 )
@@ -48,6 +49,7 @@ func RunFigure3(s Scale) *Figure3Result {
 		if frac > 0 {
 			p := core.New(patients.Schema(), s.Pipeline, s.Seed+777)
 			p.Templates = core.TemplateFraction(frac, s.Seed+99)
+			p.Workers = s.Workers
 			pairs := subsamplePairs(p.Run(), 2*s.PipelinePerSchema, s.Seed+17)
 			exs = balance(base, models.PairExamples(pairs, patients.Schema()))
 		}
@@ -112,13 +114,20 @@ func RunFigure4(s Scale) *Figure4Result {
 	// Trials run concurrently (they are the black-box Acc =
 	// Generate(D, T, φ) calls the paper's optimizer repeats); each
 	// receives a derived seed that depends only on its index, so the
-	// histogram is identical at any worker count.
+	// histogram is identical at any worker count. A cache shared across
+	// trials memoizes the generate stage: candidates that agree on the
+	// instantiation parameters (and they all agree on schema and seed)
+	// replay the recorded corpus instead of re-instantiating templates —
+	// replay is byte-identical, so the histogram is unchanged.
+	cache := core.NewGenCache(8)
 	obj := func(p core.Params, trialSeed int64) (float64, bool) {
 		var exs []models.Example
 		exs = append(exs, base...)
 		total := 0
 		for i, sch := range trainSchemas {
 			pipe := core.New(sch, p, s.Seed+int64(i)*31)
+			pipe.Workers = 1 // trials, not stages, are the parallel unit here
+			pipe.Cache = cache
 			pairs := pipe.Run()
 			total += len(pairs)
 			if total > s.HyperoptBudget {
@@ -175,53 +184,58 @@ func RunAblations(s Scale) *AblationResult {
 	}
 	cases := patients.Cases()
 
+	// Parameter ablations tweak Table-1 knobs; structural ablations are
+	// stage-list edits — "no-augmentation" drops the augment stage
+	// entirely (including domain-aware comparatives, which zeroed knobs
+	// could never switch off) and "no-lemmatize" drops the lemma stage.
 	variants := []struct {
 		name   string
 		params core.Params
+		stages stageEdit
 	}{
-		{"defaults", s.Pipeline},
-		{"no-augmentation", func() core.Params {
-			p := s.Pipeline
-			p.Augmentation.SizePara = 0
-			p.Augmentation.NumPara = 0
-			p.Augmentation.NumMissing = 0
-			p.Augmentation.RandDropP = 0
-			return p
-		}()},
+		{"defaults", s.Pipeline, nil},
+		{"no-augmentation", s.Pipeline, func(p *core.Pipeline) []pipeline.Stage {
+			return []pipeline.Stage{p.GenerateStage(), core.LemmaStage(), core.DedupStage()}
+		}},
 		{"no-paraphrase", func() core.Params {
 			p := s.Pipeline
 			p.Augmentation.SizePara = 0
 			p.Augmentation.NumPara = 0
 			return p
-		}()},
+		}(), nil},
 		{"no-dropout", func() core.Params {
 			p := s.Pipeline
 			p.Augmentation.NumMissing = 0
 			p.Augmentation.RandDropP = 0
 			return p
-		}()},
-		{"no-lemmatize", func() core.Params {
-			p := s.Pipeline
-			p.Lemmatize = false
-			return p
-		}()},
+		}(), nil},
+		{"no-lemmatize", s.Pipeline, func(p *core.Pipeline) []pipeline.Stage {
+			return []pipeline.Stage{p.GenerateStage(), p.AugmentStage(), core.DedupStage()}
+		}},
 		{"biased-agg", func() core.Params {
 			p := s.Pipeline
 			p.Instantiation.AggBoost = 6
 			return p
-		}()},
+		}(), nil},
 		{"pos-guided-dropout", func() core.Params {
 			p := s.Pipeline
 			p.Augmentation.PosGuidedDrop = true
 			return p
-		}()},
+		}(), nil},
 	}
 
+	// All variants instantiate the Patients schema at the same seed, and
+	// every one except biased-agg shares the default instantiation
+	// parameters — a GenCache shared across the loop replays that single
+	// generation for all of them (and for the exec-guided and
+	// literal-constants runs below) instead of re-instantiating.
+	cache := core.NewGenCache(4)
 	res := &AblationResult{Scale: s}
 	for _, v := range variants {
-		exs, _ := pipelineData(patients.Schema(), v.params, 2*s.PipelinePerSchema, s.Seed+777)
+		pairs := pipelinePairs(patients.Schema(), v.params, s.Seed+777, s.Workers, cache, v.stages)
+		pairs = subsamplePairs(pairs, 2*s.PipelinePerSchema, s.Seed+777+17)
 		m := s.newModel(s.Seed)
-		m.Train(balance(base, exs))
+		m.Train(balance(base, models.PairExamples(pairs, patients.Schema())))
 		rep := eval.EvalPatients(m, db, cases)
 		res.Names = append(res.Names, v.name)
 		res.Accuracy = append(res.Accuracy, rep.Overall.Acc())
@@ -229,7 +243,7 @@ func RunAblations(s Scale) *AblationResult {
 
 	// Execution-guided decoding (a runtime-side ablation: same model
 	// as "defaults", up to 3 ranked candidates per question).
-	exs, _ := pipelineData(patients.Schema(), s.Pipeline, 2*s.PipelinePerSchema, s.Seed+777)
+	exs, _ := pipelineData(patients.Schema(), s.Pipeline, 2*s.PipelinePerSchema, s.Seed+777, s.Workers, cache)
 	m := s.newModel(s.Seed)
 	m.Train(balance(base, exs))
 	rep := eval.EvalPatientsGuided(m, db, cases, 3)
@@ -240,7 +254,7 @@ func RunAblations(s Scale) *AblationResult {
 	// paper §4.1): the training pairs carry concrete values, so at
 	// runtime — where the Parameter Handler anonymizes the question —
 	// the model faces placeholder tokens it never trained on.
-	litPairs := literalizePairs(subsamplePairs(core.New(patients.Schema(), s.Pipeline, s.Seed+777).Run(), 2*s.PipelinePerSchema, s.Seed+17), db, s.Seed+5)
+	litPairs := literalizePairs(subsamplePairs(pipelinePairs(patients.Schema(), s.Pipeline, s.Seed+777, s.Workers, cache, nil), 2*s.PipelinePerSchema, s.Seed+17), db, s.Seed+5)
 	mLit := s.newModel(s.Seed)
 	mLit.Train(balance(base, models.PairExamples(litPairs, patients.Schema())))
 	repLit := eval.EvalPatients(mLit, db, cases)
@@ -285,7 +299,7 @@ func literalizePairs(pairs []core.Pair, db *engine.Database, seed int64) []core.
 		if _, err := sqlast.Parse(sqlText); err != nil {
 			continue // defensive: skip unparsable literalizations
 		}
-		out = append(out, core.Pair{NL: strings.Join(nl, " "), SQL: sqlText, TemplateID: p.TemplateID, Class: p.Class})
+		out = append(out, core.Pair{NL: strings.Join(nl, " "), SQL: sqlText, TemplateID: p.TemplateID, Class: p.Class, Stage: p.Stage, Origin: p.Origin})
 	}
 	return out
 }

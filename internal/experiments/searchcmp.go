@@ -38,12 +38,18 @@ func RunSearchComparison(s Scale) *SearchComparison {
 	trialScale.Sketch.Epochs = max(2, s.Sketch.Epochs/2)
 	trialScale.Seq2Seq.Epochs = max(2, s.Seq2Seq.Epochs/2)
 
+	// Both strategies revisit instantiation settings (the surrogate
+	// refines around promising candidates): a shared GenCache replays
+	// those generations byte-identically instead of recomputing them.
+	cache := core.NewGenCache(8)
 	obj := func(p core.Params) (float64, bool) {
 		var exs []models.Example
 		exs = append(exs, base...)
 		total := 0
 		for i, sch := range trainSchemas {
 			pipe := core.New(sch, p, s.Seed+int64(i)*31)
+			pipe.Workers = 1
+			pipe.Cache = cache
 			pairs := pipe.Run()
 			total += len(pairs)
 			if total > s.HyperoptBudget {

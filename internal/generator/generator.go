@@ -24,12 +24,30 @@ import (
 
 // Pair is one NL–SQL training example. NL is a space-separated token
 // string (pre-lemmatization); SQL is the placeholder-bearing SQL text.
+// Stage and Origin are provenance, stamped by the pipeline stage that
+// first created the pair and carried unchanged through every later
+// stage: Stage names the creator ("generate", "augment"), Origin the
+// mechanism within it ("template", "paraphrase", "dropout",
+// "comparative").
 type Pair struct {
 	NL         string
 	SQL        string
 	TemplateID string
 	Class      templates.Class
+	Stage      string
+	Origin     string
 }
+
+// Key is the identity of a pair for deduplication: the (NL, SQL) text
+// alone, ignoring template and provenance. Used by the generator's and
+// augmenter's internal dedup and by the pipeline's Dedup stage.
+func (p Pair) Key() string { return p.NL + "\x1f" + p.SQL }
+
+// Provenance values stamped by the generator.
+const (
+	StageGenerate  = "generate"
+	OriginTemplate = "template"
+)
 
 // Params are the data-instantiation knobs from the paper's Table 1.
 type Params struct {
@@ -94,6 +112,16 @@ func NewWithTemplates(s *schema.Schema, p Params, seed int64, tpls []templates.T
 // initial training set.
 func (g *Generator) Generate() []Pair {
 	var out []Pair
+	g.Stream(func(p Pair) { out = append(out, p) })
+	return out
+}
+
+// Stream instantiates every template in order, emitting each
+// deduplicated pair as it is produced — the streaming form Generate
+// collects and the pipeline's generate stage feeds downstream without
+// materializing the corpus. One Stream call consumes the generator's
+// RNG; use a fresh Generator per run.
+func (g *Generator) Stream(emit func(Pair)) {
 	seen := map[string]bool{}
 	for _, t := range g.Templates {
 		budget := g.budget(t.Class)
@@ -105,17 +133,15 @@ func (g *Generator) Generate() []Pair {
 				if !ok {
 					break // no valid binding exists for this schema
 				}
-				key := p.NL + "\x1f" + p.SQL
-				if seen[key] {
+				if seen[p.Key()] {
 					continue
 				}
-				seen[key] = true
-				out = append(out, p)
+				seen[p.Key()] = true
+				emit(p)
 				produced++
 			}
 		}
 	}
-	return out
 }
 
 // budget is the per-(template, NL variant) instance budget after class
@@ -166,7 +192,10 @@ func (g *Generator) instantiate(t *templates.Template, nlv templates.NL) (Pair, 
 			sqlText, nlText = s2, n2
 		}
 	}
-	return Pair{NL: nlText, SQL: sqlText, TemplateID: t.ID, Class: t.Class}, true
+	return Pair{
+		NL: nlText, SQL: sqlText, TemplateID: t.ID, Class: t.Class,
+		Stage: StageGenerate, Origin: OriginTemplate,
+	}, true
 }
 
 // sampleBinding picks tables and attributes satisfying the template's

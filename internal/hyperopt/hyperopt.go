@@ -10,6 +10,16 @@
 // the trained model's accuracy on T. Random search samples φ uniformly
 // from the parameter space; grid search (the exhaustive alternative
 // the paper compares against conceptually) is also provided.
+//
+// Trials compose their pipelines from the streaming stage API
+// (internal/pipeline via core): an objective builds one core.Pipeline
+// per (schema, φ) and can share a core.GenCache across trials so that
+// candidates with identical instantiation parameters — grid-search
+// axes that vary only augmentation knobs, ablation variants, surrogate
+// refinements around a midpoint — replay the memoized generate stage
+// instead of re-instantiating templates. Cached replay is
+// byte-identical to live generation, so memoization never changes a
+// trial's corpus or accuracy.
 package hyperopt
 
 import (
@@ -74,7 +84,6 @@ func (s Space) Sample(rng *rand.Rand) core.Params {
 			NumMissing: ri(s.NumMissing),
 			RandDropP:  rf(s.RandDropP),
 		},
-		Lemmatize: true,
 	}
 }
 
@@ -179,7 +188,6 @@ func (s Space) midpoint() core.Params {
 			NumMissing: mi(s.NumMissing),
 			RandDropP:  mf(s.RandDropP),
 		},
-		Lemmatize: true,
 	}
 }
 

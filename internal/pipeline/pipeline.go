@@ -1,0 +1,511 @@
+// Package pipeline is the streaming stage substrate of the DBPal
+// training pipeline: a Stage is a deterministic transform over a
+// stream of training Pairs, and a Graph wires stages together with
+// bounded channels, per-stage instrumentation, and worker-invariant
+// parallelism built on internal/par.
+//
+// Determinism contract. Like every parallel construct in this
+// repository (DESIGN.md, "Parallel substrate"), the worker count is a
+// throughput knob, not a semantics knob: a Graph emits the same pairs
+// in the same order at workers=1 and workers=64.
+//
+//   - Sequential stages (Func, Tee, Dedup, sources) run on one
+//     goroutine and consume the stream in arrival order, so stateful
+//     transforms — an RNG-bearing augmenter, a dedup map — keep the
+//     exact trajectory of the historical sequential pipeline.
+//   - Parallel stages (Map, Filter, SeededMap) fan items out to a
+//     bounded pool and re-emit results in input order through a
+//     sequencing window, so pure per-item work parallelizes without
+//     reordering. SeededMap derives each item's seed from the stream
+//     index with par.SplitSeed, never from scheduling.
+//
+// Stages run concurrently with each other (pipelining), so a Graph
+// overlaps generation, augmentation, and lemmatization even when every
+// stage is sequential internally.
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/generator"
+	"repro/internal/par"
+)
+
+// Pair is the stream element: one NL–SQL training pair, carrying the
+// provenance fields (Stage, Origin) the stages stamp and preserve.
+type Pair = generator.Pair
+
+// chanBuf is the per-edge channel buffer. Large enough to decouple
+// stage bursts, small enough to keep memory constant: a Graph never
+// holds more than stages*chanBuf pairs in flight (plus the sequencing
+// windows of its parallel stages).
+const chanBuf = 256
+
+// Stage is one streaming transform. Run consumes the input stream
+// until it is closed and emits output pairs via emit.
+//
+// Contract:
+//   - in is nil for the first stage of a Graph, which must therefore
+//     be a source (a stage that ignores in).
+//   - emit must be called from one goroutine at a time; Run returns
+//     only after everything has been emitted.
+//   - workers bounds internal parallelism (<= 0 means all cores). A
+//     stage's output must not depend on workers.
+//   - A Stage instance is single-use: it may own per-run state (RNG,
+//     dedup map), so build a fresh instance for every Graph run.
+type Stage interface {
+	Name() string
+	Run(in <-chan Pair, emit func(Pair), workers int)
+}
+
+// CounterStage is implemented by stages that report extra counters
+// (dedup hits, per-origin variant counts) into their Stats snapshot.
+// Counters is called once, after Run returns.
+type CounterStage interface {
+	Stage
+	Counters() map[string]int64
+}
+
+// Stats is one stage's instrumentation snapshot after a Graph run.
+// Stages run concurrently, so WallNS measures each stage's
+// first-input-to-last-output span; the spans of adjacent stages
+// overlap. Use the per-stage benchmarks for isolated costs.
+type Stats struct {
+	Stage  string           `json:"stage"`
+	In     int64            `json:"in"`
+	Out    int64            `json:"out"`
+	WallNS int64            `json:"wall_ns"`
+	Extra  map[string]int64 `json:"extra,omitempty"`
+}
+
+// Graph is a runnable chain of stages. Build one per run (stages are
+// single-use), execute it with Stream or Collect, then read Stats.
+type Graph struct {
+	workers int
+	stages  []Stage
+	stats   []Stats
+}
+
+// New wires stages into a graph. workers bounds the pool of every
+// parallel stage (0 = all cores); it never changes the output.
+func New(workers int, stages ...Stage) *Graph {
+	if len(stages) == 0 {
+		panic("pipeline: empty graph")
+	}
+	return &Graph{workers: workers, stages: stages}
+}
+
+// Stream runs the graph, calling emit for every pair the final stage
+// produces, in order, on the calling goroutine — constant memory for
+// any corpus size. If emit returns an error, Stream stops invoking it,
+// drains the (finite) stream, and returns that first error.
+func (g *Graph) Stream(emit func(Pair) error) error {
+	g.stats = make([]Stats, len(g.stages))
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+
+	var in <-chan Pair
+	for i, st := range g.stages {
+		g.stats[i].Stage = st.Name()
+		out := make(chan Pair, chanBuf)
+		wg.Add(1)
+		go func(i int, st Stage, in <-chan Pair, out chan<- Pair) {
+			defer wg.Done()
+			// Drain a possibly unconsumed input (panicked or lazy
+			// stage) so upstream senders can finish. Runs after
+			// close(out), which runs after the recover below.
+			defer func() {
+				if in != nil {
+					for range in {
+					}
+				}
+			}()
+			defer close(out)
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			start := time.Now()
+			st.Run(in, func(p Pair) {
+				g.stats[i].Out++
+				out <- p
+			}, g.workers)
+			g.stats[i].WallNS = time.Since(start).Nanoseconds()
+			if cs, ok := st.(CounterStage); ok {
+				g.stats[i].Extra = cs.Counters()
+			}
+		}(i, st, in, out)
+		in = out
+	}
+
+	var err error
+	for p := range in {
+		if err == nil {
+			err = emit(p)
+		}
+	}
+	wg.Wait()
+	for i := 1; i < len(g.stats); i++ {
+		g.stats[i].In = g.stats[i-1].Out
+	}
+	if panicked != nil {
+		panic(fmt.Sprintf("pipeline: stage panic: %v", panicked))
+	}
+	return err
+}
+
+// Collect runs the graph and returns every emitted pair.
+func (g *Graph) Collect() []Pair {
+	var out []Pair
+	g.Stream(func(p Pair) error {
+		out = append(out, p)
+		return nil
+	})
+	return out
+}
+
+// Stats returns the per-stage snapshot of the last Stream/Collect.
+func (g *Graph) Stats() []Stats { return g.stats }
+
+// ---------------------------------------------------------------------
+// Sequential stage constructors.
+// ---------------------------------------------------------------------
+
+type sourceStage struct {
+	name     string
+	gen      func(emit func(Pair))
+	counters func() map[string]int64
+}
+
+func (s *sourceStage) Name() string { return s.name }
+func (s *sourceStage) Run(_ <-chan Pair, emit func(Pair), _ int) {
+	s.gen(emit)
+}
+func (s *sourceStage) Counters() map[string]int64 {
+	if s.counters == nil {
+		return nil
+	}
+	return s.counters()
+}
+
+// Source builds a source stage (the head of a graph) from a generator
+// function that emits the whole stream and returns.
+func Source(name string, gen func(emit func(Pair))) Stage {
+	return &sourceStage{name: name, gen: gen}
+}
+
+// SourceWithCounters is Source plus an extra-counter hook read after
+// the run (e.g. cache hits of a memoized generation stage).
+func SourceWithCounters(name string, gen func(emit func(Pair)), counters func() map[string]int64) Stage {
+	return &sourceStage{name: name, gen: gen, counters: counters}
+}
+
+// FromSlice builds a source stage replaying a fixed slice — the shape
+// used by per-stage benchmarks and cached generation.
+func FromSlice(name string, pairs []Pair) Stage {
+	return Source(name, func(emit func(Pair)) {
+		for _, p := range pairs {
+			emit(p)
+		}
+	})
+}
+
+type funcStage struct {
+	name     string
+	fn       func(Pair, func(Pair))
+	counters func() map[string]int64
+}
+
+func (f *funcStage) Name() string { return f.name }
+func (f *funcStage) Run(in <-chan Pair, emit func(Pair), _ int) {
+	for p := range in {
+		f.fn(p, emit)
+	}
+}
+func (f *funcStage) Counters() map[string]int64 {
+	if f.counters == nil {
+		return nil
+	}
+	return f.counters()
+}
+
+// Func builds a sequential per-item expander stage: fn is called once
+// per input pair in stream order and may emit any number of outputs.
+// This is the shape for stateful transforms (a shared RNG, a dedup
+// map) whose trajectory must match the historical sequential code.
+func Func(name string, fn func(p Pair, emit func(Pair))) Stage {
+	return &funcStage{name: name, fn: fn}
+}
+
+// FuncWithCounters is Func plus an extra-counter hook read after the
+// run.
+func FuncWithCounters(name string, fn func(p Pair, emit func(Pair)), counters func() map[string]int64) Stage {
+	return &funcStage{name: name, fn: fn, counters: counters}
+}
+
+// Tee builds a pass-through stage that calls observe on every pair
+// without altering the stream — progress reporting, side-channel
+// writes, invariant checks.
+func Tee(name string, observe func(Pair)) Stage {
+	return Func(name, func(p Pair, emit func(Pair)) {
+		observe(p)
+		emit(p)
+	})
+}
+
+// Dedup builds a stage that drops exact-duplicate pairs (same NL and
+// SQL, first occurrence wins) and reports the drop count as the
+// "dedup_hits" counter. Distinct pre-lemmatization surface forms can
+// collapse to one post-lemmatization string, so the default pipeline
+// runs this after the lemmatizer.
+func Dedup() Stage {
+	seen := map[string]bool{}
+	var hits int64
+	return FuncWithCounters("dedup",
+		func(p Pair, emit func(Pair)) {
+			k := p.Key()
+			if seen[k] {
+				hits++
+				return
+			}
+			seen[k] = true
+			emit(p)
+		},
+		func() map[string]int64 { return map[string]int64{"dedup_hits": hits} })
+}
+
+// ---------------------------------------------------------------------
+// Parallel stage constructors (worker pools, order-preserving).
+// ---------------------------------------------------------------------
+
+type mapStage struct {
+	name   string
+	seeded bool
+	base   int64
+	fn     func(p Pair, seed int64) (Pair, bool)
+}
+
+// Map builds a parallel per-item map stage. fn must be pure (no shared
+// state): items are processed on a bounded pool and re-emitted in
+// input order, so the output is identical at any worker count.
+func Map(name string, fn func(Pair) Pair) Stage {
+	return &mapStage{name: name, fn: func(p Pair, _ int64) (Pair, bool) { return fn(p), true }}
+}
+
+// Filter builds a parallel predicate stage: pairs for which keep
+// returns false are dropped, order is preserved.
+func Filter(name string, keep func(Pair) bool) Stage {
+	return &mapStage{name: name, fn: func(p Pair, _ int64) (Pair, bool) { return p, keep(p) }}
+}
+
+// SeededMap builds a parallel per-item transform whose randomness is
+// split per stream index: item i receives par.SplitSeed(base, i), so
+// its draws depend only on its position, never on scheduling or pool
+// size. fn may drop an item by returning false.
+func SeededMap(name string, base int64, fn func(p Pair, seed int64) (Pair, bool)) Stage {
+	return &mapStage{name: name, seeded: true, base: base, fn: fn}
+}
+
+func (m *mapStage) Name() string { return m.name }
+
+type mapResult struct {
+	p  Pair
+	ok bool
+}
+
+type mapJob struct {
+	p    Pair
+	seed int64
+	done chan mapResult
+}
+
+func (m *mapStage) Run(in <-chan Pair, emit func(Pair), workers int) {
+	w := par.Count(workers)
+	if w <= 1 {
+		i := 0
+		for p := range in {
+			var seed int64
+			if m.seeded {
+				seed = par.SplitSeed(m.base, i)
+			}
+			if q, ok := m.fn(p, seed); ok {
+				emit(q)
+			}
+			i++
+		}
+		return
+	}
+
+	jobs := make(chan *mapJob, w)
+	order := make(chan *mapJob, 2*w) // sequencing window: bounds in-flight items
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicOnce.Do(func() { panicked = r })
+							j.done <- mapResult{ok: false}
+						}
+					}()
+					q, ok := m.fn(j.p, j.seed)
+					j.done <- mapResult{p: q, ok: ok}
+				}()
+			}
+		}()
+	}
+	go func() {
+		i := 0
+		for p := range in {
+			j := &mapJob{p: p, done: make(chan mapResult, 1)}
+			if m.seeded {
+				j.seed = par.SplitSeed(m.base, i)
+			}
+			order <- j // blocks once 2w items are in flight
+			jobs <- j
+			i++
+		}
+		close(jobs)
+		close(order)
+	}()
+	for j := range order {
+		if r := <-j.done; r.ok {
+			emit(r.p)
+		}
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("pipeline: %s worker panic: %v", m.name, panicked))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Combinators over stages.
+// ---------------------------------------------------------------------
+
+type chainStage struct {
+	name string
+	subs []Stage
+}
+
+// Chain composes stages into one stage, wiring internal buffered
+// channels exactly as a Graph does. Useful for handing a multi-step
+// transform to a combinator that expects a single Stage.
+func Chain(name string, subs ...Stage) Stage {
+	if len(subs) == 0 {
+		panic("pipeline: empty chain")
+	}
+	return &chainStage{name: name, subs: subs}
+}
+
+func (c *chainStage) Name() string { return c.name }
+func (c *chainStage) Run(in <-chan Pair, emit func(Pair), workers int) {
+	cur := in
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	for _, st := range c.subs[:len(c.subs)-1] {
+		next := make(chan Pair, chanBuf)
+		wg.Add(1)
+		go func(st Stage, in <-chan Pair, out chan<- Pair) {
+			defer wg.Done()
+			defer func() {
+				if in != nil {
+					for range in {
+					}
+				}
+			}()
+			defer close(out)
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			st.Run(in, func(p Pair) { out <- p }, workers)
+		}(st, cur, next)
+		cur = next
+	}
+	c.subs[len(c.subs)-1].Run(cur, emit, workers)
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("pipeline: %s stage panic: %v", c.name, panicked))
+	}
+}
+
+type fanStage struct {
+	name string
+	subs []Stage
+}
+
+// Fan replicates the input stream to every sub-stage and emits their
+// outputs grouped by stage, in stage order: all of the first stage's
+// output (streamed through), then the second's, and so on. The
+// grouping makes the merge deterministic at the cost of buffering the
+// later stages' outputs, so put the largest producer first.
+func Fan(name string, subs ...Stage) Stage {
+	if len(subs) == 0 {
+		panic("pipeline: empty fan")
+	}
+	return &fanStage{name: name, subs: subs}
+}
+
+func (f *fanStage) Name() string { return f.name }
+func (f *fanStage) Run(in <-chan Pair, emit func(Pair), workers int) {
+	n := len(f.subs)
+	ins := make([]chan Pair, n)
+	for i := range ins {
+		ins[i] = make(chan Pair, chanBuf)
+	}
+	buffered := make([][]Pair, n)
+	var panicOnce sync.Once
+	var panicked any
+	var wg sync.WaitGroup
+	for i, st := range f.subs {
+		wg.Add(1)
+		go func(i int, st Stage) {
+			defer wg.Done()
+			defer func() {
+				for range ins[i] {
+				}
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+				}
+			}()
+			if i == 0 {
+				st.Run(ins[i], emit, workers) // only goroutine emitting until Wait
+				return
+			}
+			st.Run(ins[i], func(p Pair) { buffered[i] = append(buffered[i], p) }, workers)
+		}(i, st)
+	}
+	if in != nil {
+		for p := range in {
+			for i := range ins {
+				ins[i] <- p
+			}
+		}
+	}
+	for i := range ins {
+		close(ins[i])
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("pipeline: %s stage panic: %v", f.name, panicked))
+	}
+	for _, buf := range buffered[1:] {
+		for _, p := range buf {
+			emit(p)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mk builds a deterministic test stream of n distinct pairs.
+func mk(n int) []Pair {
+	out := make([]Pair, n)
+	for i := range out {
+		out[i] = Pair{
+			NL:         fmt.Sprintf("show row %d", i),
+			SQL:        fmt.Sprintf("SELECT %d", i),
+			TemplateID: fmt.Sprintf("T%d", i%7),
+		}
+	}
+	return out
+}
+
+func collect(workers int, stages ...Stage) []Pair {
+	return New(workers, stages...).Collect()
+}
+
+func equalPairs(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMapOrderPreservedAtAnyWorkerCount(t *testing.T) {
+	in := mk(500)
+	upper := func(p Pair) Pair {
+		p.NL = strings.ToUpper(p.NL)
+		return p
+	}
+	want := collect(1, FromSlice("src", in), Map("upper", upper))
+	for i, p := range want {
+		if p.NL != strings.ToUpper(in[i].NL) {
+			t.Fatalf("pair %d = %q, want uppercase of %q", i, p.NL, in[i].NL)
+		}
+	}
+	for _, w := range []int{2, 3, 8, 16} {
+		got := collect(w, FromSlice("src", in), Map("upper", upper))
+		if !equalPairs(got, want) {
+			t.Fatalf("workers=%d output differs from workers=1", w)
+		}
+	}
+}
+
+func TestFilterDropsAndPreservesOrder(t *testing.T) {
+	in := mk(200)
+	keep := func(p Pair) bool { return p.TemplateID != "T3" }
+	want := collect(1, FromSlice("src", in), Filter("keep", keep))
+	for _, p := range want {
+		if p.TemplateID == "T3" {
+			t.Fatalf("filtered template survived: %+v", p)
+		}
+	}
+	if len(want) >= len(in) {
+		t.Fatal("filter dropped nothing")
+	}
+	for _, w := range []int{2, 8} {
+		if got := collect(w, FromSlice("src", in), Filter("keep", keep)); !equalPairs(got, want) {
+			t.Fatalf("workers=%d filter output differs", w)
+		}
+	}
+}
+
+func TestSeededMapSplitsSeedByIndex(t *testing.T) {
+	in := mk(300)
+	stamp := func(p Pair, seed int64) (Pair, bool) {
+		p.Origin = fmt.Sprintf("%d", seed)
+		return p, seed%5 != 0 // also exercise dropping
+	}
+	want := collect(1, FromSlice("src", in), SeededMap("stamp", 42, stamp))
+	for _, w := range []int{2, 7} {
+		if got := collect(w, FromSlice("src", in), SeededMap("stamp", 42, stamp)); !equalPairs(got, want) {
+			t.Fatalf("workers=%d seeded map output differs", w)
+		}
+	}
+	// A different base seed must change the derived seeds.
+	other := collect(1, FromSlice("src", in), SeededMap("stamp", 43, stamp))
+	if equalPairs(other, want) {
+		t.Fatal("base seed had no effect")
+	}
+}
+
+func TestFuncExpandsInOrder(t *testing.T) {
+	in := mk(50)
+	expand := func(p Pair, emit func(Pair)) {
+		emit(p)
+		v := p
+		v.Origin = "copy"
+		emit(v)
+	}
+	got := collect(4, FromSlice("src", in), Func("expand", expand))
+	if len(got) != 2*len(in) {
+		t.Fatalf("expanded to %d pairs, want %d", len(got), 2*len(in))
+	}
+	for i, p := range in {
+		if got[2*i] != p || got[2*i+1].Origin != "copy" || got[2*i+1].NL != p.NL {
+			t.Fatalf("expansion order broken at %d", i)
+		}
+	}
+}
+
+func TestTeeObservesWithoutAltering(t *testing.T) {
+	in := mk(80)
+	var seen []Pair
+	got := collect(2, FromSlice("src", in), Tee("watch", func(p Pair) { seen = append(seen, p) }))
+	if !equalPairs(got, in) || !equalPairs(seen, in) {
+		t.Fatal("tee altered or missed part of the stream")
+	}
+}
+
+func TestDedupDropsExactDuplicates(t *testing.T) {
+	in := mk(10)
+	dups := append(append([]Pair{}, in...), in[2], in[5], in[5])
+	// Duplicate text with different provenance must still be dropped.
+	alt := in[7]
+	alt.Origin = "paraphrase"
+	dups = append(dups, alt)
+	g := New(1, FromSlice("src", dups), Dedup())
+	got := g.Collect()
+	if !equalPairs(got, in) {
+		t.Fatalf("dedup output = %d pairs, want the %d originals in order", len(got), len(in))
+	}
+	st := g.Stats()
+	if st[1].Extra["dedup_hits"] != 4 {
+		t.Fatalf("dedup_hits = %d, want 4", st[1].Extra["dedup_hits"])
+	}
+}
+
+func TestStatsCountsAndLinks(t *testing.T) {
+	in := mk(30)
+	g := New(2,
+		FromSlice("src", in),
+		Filter("keep", func(p Pair) bool { return p.TemplateID != "T0" }),
+		Map("id", func(p Pair) Pair { return p }),
+	)
+	out := g.Collect()
+	st := g.Stats()
+	if len(st) != 3 || st[0].Stage != "src" || st[1].Stage != "keep" || st[2].Stage != "id" {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st[0].Out != int64(len(in)) || st[1].In != st[0].Out || st[2].In != st[1].Out || st[2].Out != int64(len(out)) {
+		t.Fatalf("in/out links broken: %+v", st)
+	}
+	if st[1].Out >= st[1].In {
+		t.Fatal("filter stats did not record drops")
+	}
+}
+
+func TestStreamStopsOnEmitError(t *testing.T) {
+	in := mk(1000)
+	wantErr := errors.New("disk full")
+	n := 0
+	err := New(4, FromSlice("src", in), Map("id", func(p Pair) Pair { return p })).Stream(func(p Pair) error {
+		n++
+		if n == 10 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("emit called %d times after error", n)
+	}
+}
+
+func TestChainEqualsFlatGraph(t *testing.T) {
+	in := mk(120)
+	upper := func(p Pair) Pair { p.NL = strings.ToUpper(p.NL); return p }
+	keep := func(p Pair) bool { return p.TemplateID != "T1" }
+	flat := collect(3, FromSlice("src", in), Map("u", upper), Filter("k", keep))
+	chained := collect(3, FromSlice("src", in), Chain("both", Map("u", upper), Filter("k", keep)))
+	if !equalPairs(flat, chained) {
+		t.Fatal("chain output differs from flat graph")
+	}
+}
+
+func TestFanGroupsByStage(t *testing.T) {
+	in := mk(40)
+	tag := func(origin string) Stage {
+		return Map(origin, func(p Pair) Pair { p.Origin = origin; return p })
+	}
+	got := collect(2, FromSlice("src", in), Fan("fan", tag("a"), tag("b")))
+	if len(got) != 2*len(in) {
+		t.Fatalf("fan emitted %d pairs, want %d", len(got), 2*len(in))
+	}
+	for i := range in {
+		if got[i].Origin != "a" || got[len(in)+i].Origin != "b" {
+			t.Fatalf("fan merge not grouped by stage at %d", i)
+		}
+		if got[i].NL != in[i].NL || got[len(in)+i].NL != in[i].NL {
+			t.Fatalf("fan reordered input at %d", i)
+		}
+	}
+}
+
+func TestStagePanicPropagates(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatalf("%s: stage panic was swallowed", name)
+			}
+			if !strings.Contains(fmt.Sprint(r), "boom") {
+				t.Fatalf("%s: panic %v does not carry the cause", name, r)
+			}
+		}()
+		f()
+	}
+	check("sequential", func() {
+		collect(1, FromSlice("src", mk(10)), Func("bad", func(p Pair, emit func(Pair)) { panic("boom") }))
+	})
+	check("parallel", func() {
+		collect(8, FromSlice("src", mk(100)), Map("bad", func(p Pair) Pair { panic("boom") }))
+	})
+	check("chained", func() {
+		collect(2, FromSlice("src", mk(10)), Chain("c", Tee("t", func(Pair) {}), Func("bad", func(p Pair, emit func(Pair)) { panic("boom") })))
+	})
+}
