@@ -42,14 +42,16 @@ func main() {
 		} else {
 			model, err = models.LoadSketch(f)
 		}
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	case *train:
 		s := patients.Schema()
-		t0 := time.Now()
+		t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
 		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
 		fmt.Printf("synthesized %d pairs\n", len(pairs))
 		if *modelKind == "seq2seq" {

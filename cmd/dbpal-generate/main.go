@@ -63,16 +63,16 @@ func main() {
 	g := p.Graph(stages...)
 
 	w := bufio.NewWriter(os.Stdout)
+	var f *os.File
 	if *out != "" {
-		f, err := os.Create(*out)
+		var err error
+		f, err = os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	defer w.Flush()
 
 	classCounts := map[string]int{}
 	pairs := 0
@@ -86,6 +86,16 @@ func main() {
 		_, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\n", q.NL, q.SQL, q.TemplateID, q.Class)
 		return err
 	})
+	// A full disk or closed pipe must not produce a silently truncated
+	// corpus: surface the buffered writer's flush and the file close.
+	if err == nil {
+		err = w.Flush()
+	}
+	if f != nil {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

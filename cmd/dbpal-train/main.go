@@ -39,18 +39,17 @@ func main() {
 		os.Exit(1)
 	}
 
-	t0 := time.Now()
+	t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
 	pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
 	fmt.Printf("pipeline synthesized %d pairs for %q in %s\n", len(pairs), s.Name, time.Since(t0).Round(time.Millisecond))
 	exs := dbpal.TrainingExamples(pairs, s)
 
-	t1 := time.Now()
+	t1 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
 	f, err := os.Create(*out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	defer f.Close()
 
 	switch *modelKind {
 	case "seq2seq":
@@ -79,6 +78,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	// The model file is write-buffered by the OS; a dropped Close
+	// error could hand cmd/dbpal a truncated model.
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	fmt.Printf("saved to %s\n", *out)
 }

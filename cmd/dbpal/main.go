@@ -56,7 +56,7 @@ func main() {
 		fmt.Printf("loaded %s model from %s\n", *modelKind, *loadPath)
 	} else {
 		fmt.Printf("bootstrapping DBPal for schema %q (%s model)...\n", s.Name, *modelKind)
-		t0 := time.Now()
+		t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
 		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
 		fmt.Printf("  pipeline synthesized %d NL-SQL pairs\n", len(pairs))
 		model = newModel(*modelKind, *seed)
@@ -142,11 +142,19 @@ func loadModel(kind, path string) (dbpal.Translator, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	var m dbpal.Translator
 	if kind == "seq2seq" {
-		return models.LoadSeq2Seq(f)
+		m, err = models.LoadSeq2Seq(f)
+	} else {
+		m, err = models.LoadSketch(f)
 	}
-	return models.LoadSketch(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 func indent(s, prefix string) string {

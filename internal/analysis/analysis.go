@@ -1,0 +1,251 @@
+// Package analysis is the repository's zero-dependency static-analysis
+// framework: a small Analyzer interface over go/ast + go/types, a
+// module loader (load.go), a //lint:allow suppression directive, and
+// deterministic diagnostic reporting. cmd/dbpal-lint drives it over
+// the whole module; the shipped analyzers (determinism, maporder,
+// rawgo, errdrop, seedsplit) machine-check the invariants DESIGN.md
+// only prose-checks: explicit seeds, sorted map iteration, all
+// concurrency through internal/par / internal/pipeline, no silently
+// dropped errors, and SplitSeed-derived RNGs inside parallel
+// callbacks.
+//
+// Suppression: a comment of the form
+//
+//	//lint:allow <check> <reason>
+//
+// placed at the end of the offending line or on its own line directly
+// above it silences that check there. The reason is free text; write
+// one — the directive documents an intentional exception, not an
+// escape hatch.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the check name used in output and //lint:allow
+	// directives.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// AppliesTo filters by import path; nil means every package.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the check.
+	Run func(pass *Pass)
+}
+
+// Diagnostic is one finding. Path is module-relative and
+// slash-separated, so output is stable across checkouts.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	Path    string `json:"path"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// Pass hands one (analyzer, package) pairing its reporting context.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	moduleDir string
+	allow     allowIndex
+	sink      *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless a //lint:allow directive
+// covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	rel := position.Filename
+	if r, err := filepath.Rel(p.moduleDir, position.Filename); err == nil {
+		rel = filepath.ToSlash(r)
+	}
+	if p.allow.allowed(p.Analyzer.Name, position.Filename, position.Line) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Check:   p.Analyzer.Name,
+		Path:    rel,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// PkgPathOf resolves x to the import path of the package it names
+// ("time" in time.Now). ok is false when x is not an identifier bound
+// to an import.
+func (p *Pass) PkgPathOf(x ast.Expr) (path string, ok bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// IsPkgFunc reports whether e is a selector for the function
+// pkgPath.name (e.g. "repro/internal/par", "SplitSeed").
+func (p *Pass) IsPkgFunc(e ast.Expr, pkgPath, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	got, ok := p.PkgPathOf(sel.X)
+	return ok && got == pkgPath
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// Suppression directives.
+// ---------------------------------------------------------------------
+
+// allowIndex maps a "file:line" key to the set of check names a
+// //lint:allow directive covers on that line.
+type allowIndex map[string]map[string]bool
+
+func (a allowIndex) allowed(check, file string, line int) bool {
+	return a[fmt.Sprintf("%s:%d", file, line)][check]
+}
+
+// buildAllowIndex scans a package's comments for //lint:allow
+// directives. A directive covers its own line (end-of-line form) and
+// the line below it (standalone form above a statement).
+func buildAllowIndex(pkg *Package) allowIndex {
+	idx := allowIndex{}
+	add := func(file string, line int, check string) {
+		key := fmt.Sprintf("%s:%d", file, line)
+		if idx[key] == nil {
+			idx[key] = map[string]bool{}
+		}
+		idx[key][check] = true
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lint:allow ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, check := range strings.Split(fields[0], ",") {
+					add(pos.Filename, pos.Line, check)
+					add(pos.Filename, pos.Line+1, check)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// ---------------------------------------------------------------------
+// Running and reporting.
+// ---------------------------------------------------------------------
+
+// Run applies each analyzer to each package it covers and returns the
+// findings sorted by (path, line, col, check) — a deterministic order
+// regardless of package iteration or analyzer registration.
+func Run(m *Module, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := buildAllowIndex(pkg)
+		for _, a := range analyzers {
+			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, moduleDir: m.Dir, allow: idx, sink: &diags}
+			a.Run(pass)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by path, line, column, check name,
+// then message.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// FormatText writes findings one per line:
+// path:line:col: [check] message.
+func FormatText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", d.Path, d.Line, d.Col, d.Check, d.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatJSON writes findings as an indented JSON array (an empty
+// array, not null, when there are none) — the -json contract.
+func FormatJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// Suite returns the shipped analyzers in their canonical order.
+func Suite() []*Analyzer {
+	return []*Analyzer{Determinism, MapOrder, RawGo, ErrDrop, SeedSplit}
+}
+
+// hasSegment reports whether any "/"-separated segment of path equals
+// seg.
+func hasSegment(path, seg string) bool {
+	for _, s := range strings.Split(path, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// globalRandFuncs are the top-level math/rand (and math/rand/v2)
+// functions that draw from the process-global RNG. Using them makes a
+// result depend on everything else that touched the global stream —
+// the exact coupling the pipeline's explicit-seed discipline forbids.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint": true, "UintN": true,
+	"Uint32N": true, "Uint64N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Read": true, "Seed": true,
+}
+
+// Determinism flags wall-clock reads and global-RNG draws. Every
+// random choice in the pipeline must flow from an explicit seed
+// (DESIGN.md, "Parallel substrate"), and time.Now in library code
+// makes output depend on the machine's clock. Timing-only sites
+// (benchmarks, progress reporting) are the intended use of
+// //lint:allow determinism.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags time.Now and global math/rand draws; seeds and clocks must flow in explicitly",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				path, ok := pass.PkgPathOf(sel.X)
+				if !ok {
+					return true
+				}
+				switch {
+				case path == "time" && sel.Sel.Name == "Now":
+					pass.Reportf(sel.Pos(), "time.Now reads the wall clock; results must not depend on it (annotate timing-only code with //lint:allow determinism)")
+				case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[sel.Sel.Name]:
+					pass.Reportf(sel.Pos(), "rand.%s draws from the global RNG; use rand.New(rand.NewSource(seed)) with an explicit seed", sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements (including deferred calls) that
+// silently discard an error result — the classic lost Flush/Close on
+// a CLI output path. Assigning to the blank identifier stays legal:
+// `_ = f.Close()` is a visible, reviewable decision, a bare statement
+// is not.
+//
+// Excluded as never-fails by contract: fmt.Print/Printf/Println,
+// fmt.Fprint* to os.Stdout/os.Stderr, and the Write* methods of
+// strings.Builder and bytes.Buffer.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error results in statement position",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						checkDroppedError(pass, call)
+					}
+				case *ast.DeferStmt:
+					checkDroppedError(pass, s.Call)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func checkDroppedError(pass *Pass, call *ast.CallExpr) {
+	if errdropExcluded(pass, call) {
+		return
+	}
+	t := pass.TypeOf(call)
+	if t == nil {
+		return
+	}
+	drops := false
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				drops = true
+			}
+		}
+	default:
+		drops = isErrorType(rt)
+	}
+	if drops {
+		pass.Reportf(call.Pos(), "error result of %s is discarded; handle it or assign it to _ explicitly", calleeString(call))
+	}
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errType)
+}
+
+// errdropExcluded recognizes the never-fails idioms the check leaves
+// alone.
+func errdropExcluded(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// fmt.Print family; fmt.Fprint* only when writing to the
+	// process's own stdio or to an in-memory buffer.
+	if path, ok := pass.PkgPathOf(sel.X); ok && path == "fmt" {
+		switch sel.Sel.Name {
+		case "Print", "Printf", "Println":
+			return true
+		case "Fprint", "Fprintf", "Fprintln":
+			if len(call.Args) > 0 {
+				if w, ok := call.Args[0].(*ast.SelectorExpr); ok {
+					if path, ok := pass.PkgPathOf(w.X); ok && path == "os" &&
+						(w.Sel.Name == "Stdout" || w.Sel.Name == "Stderr") {
+						return true
+					}
+				}
+				if isBufferType(pass.TypeOf(call.Args[0])) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	// Methods of strings.Builder and bytes.Buffer document that the
+	// error is always nil.
+	return isBufferType(pass.TypeOf(sel.X))
+}
+
+// isBufferType recognizes strings.Builder and bytes.Buffer (and
+// pointers to them), whose writes never fail by contract.
+func isBufferType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*strings.Builder", "strings.Builder", "*bytes.Buffer", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// calleeString renders the called expression for the message
+// ("f.Close", "w.Flush", "enc.Encode").
+func calleeString(call *ast.CallExpr) string {
+	return types.ExprString(call.Fun)
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags range-over-map loops whose iteration order escapes
+// into an ordered sink — an append, a channel send, or an emit
+// callback — without a sort afterwards. Go randomizes map iteration,
+// so such a loop produces a different corpus every run; the pipeline
+// packages must collect keys and sort before emitting
+// (DESIGN.md, "Stage pipeline"). It runs only on the packages whose
+// output order is part of the determinism contract: generator,
+// augment, pipeline, and models.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose order escapes into append/send/emit without a sort",
+	AppliesTo: func(path string) bool {
+		return hasSegment(path, "generator") || hasSegment(path, "augment") ||
+			hasSegment(path, "pipeline") || hasSegment(path, "models")
+	},
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			// Process each function body separately so "a sort call
+			// later in the same function" has a well-defined scope.
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkMapRanges(pass, fn.Body)
+					}
+					return false
+				case *ast.FuncLit:
+					// Reached only for literals outside any FuncDecl
+					// (package-level var initializers).
+					checkMapRanges(pass, fn.Body)
+					return false
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkMapRanges walks one function body (descending into nested
+// function literals) and reports undisciplined map ranges.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		kind := escapeInBody(pass, rs.Body)
+		if kind == "" {
+			return true
+		}
+		// The collect-then-sort idiom is fine: the appends inside the
+		// loop are unordered, and a sort later in the same function
+		// restores determinism before anything observes the slice.
+		if kind == "append" && sortCallAfter(pass, body, rs.End()) {
+			return true
+		}
+		pass.Reportf(rs.Pos(), "map iteration order escapes into %s; iterate sorted keys instead (or sort the result before it is observed)", kind)
+		return true
+	})
+}
+
+// escapeInBody finds the strongest ordered escape of iteration order
+// inside a range body. Sends and emit calls can never be repaired by
+// a later sort, so they dominate appends.
+func escapeInBody(pass *Pass, body *ast.BlockStmt) string {
+	kind := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			kind = "a channel send"
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+					if kind == "" {
+						kind = "append"
+					}
+				} else if id.Name == "emit" {
+					kind = "an emit callback"
+				}
+			}
+		}
+		return kind == "" || kind == "append"
+	})
+	return kind
+}
+
+// sortCallAfter reports whether the function body contains a call into
+// package sort or slices positioned after end.
+func sortCallAfter(pass *Pass, body *ast.BlockStmt, end token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < end {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if path, ok := pass.PkgPathOf(sel.X); ok && (path == "sort" || path == "slices") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the determinism analyzer: wall-clock
+// reads and global-RNG draws are flagged, explicitly seeded RNGs and
+// //lint:allow'd timing sites are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the global RNG`
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global RNG`
+}
+
+func clockSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+}
+
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func timedAbove() time.Time {
+	//lint:allow determinism timing-only fixture site
+	return time.Now()
+}
+
+func timedInline() int64 {
+	return time.Now().UnixNano() //lint:allow determinism timing-only fixture site
+}

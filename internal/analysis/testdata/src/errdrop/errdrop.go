@@ -1,0 +1,40 @@
+// Package fixture exercises the errdrop analyzer: statement-position
+// calls that discard an error result are flagged; explicit blank
+// assignments, handled errors, and never-fails idioms are not.
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drop(f *os.File) {
+	f.Close() // want `error result of f\.Close is discarded`
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // want `error result of f\.Close is discarded`
+}
+
+func explicit(f *os.File) {
+	_ = f.Close()
+}
+
+func handled(f *os.File) error {
+	return f.Close()
+}
+
+func allowed(f *os.File) {
+	defer f.Close() //lint:allow errdrop fixture exercises the suppression path
+}
+
+func neverFails(sb *strings.Builder, buf *bytes.Buffer) string {
+	fmt.Println("stdout is excluded")
+	fmt.Fprintf(os.Stderr, "stderr is excluded\n")
+	sb.WriteString("builder writes never fail")
+	buf.WriteByte('x')
+	fmt.Fprintf(sb, "fprintf to a builder never fails")
+	return sb.String()
+}

@@ -1,0 +1,56 @@
+// Package fixture exercises the maporder analyzer: map iteration
+// whose order escapes into an append, channel send, or emit callback
+// is flagged unless a sort follows (or the loop is order-insensitive).
+package fixture
+
+import "sort"
+
+func escapesAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration order escapes into append`
+		out = append(out, k)
+	}
+	return out
+}
+
+func escapesSend(m map[string]int, sink chan string) {
+	for k := range m { // want `map iteration order escapes into a channel send`
+		sink <- k
+	}
+}
+
+func escapesEmit(m map[string]int, emit func(string)) {
+	for k := range m { // want `map iteration order escapes into an emit callback`
+		emit(k)
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func orderInsensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func sliceRange(xs []string, emit func(string)) {
+	for _, x := range xs {
+		emit(x)
+	}
+}
+
+func allowed(m map[string]int, emit func(string)) {
+	//lint:allow maporder fixture exercises the suppression path
+	for k := range m {
+		emit(k)
+	}
+}

@@ -1,0 +1,22 @@
+// Package fixture exercises the rawgo analyzer: go statements are
+// flagged outside the concurrency substrate, and //lint:allow
+// suppresses intentional ones.
+package fixture
+
+import "sync"
+
+func spawn() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `go statement outside the concurrency substrate`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+func allowed() {
+	done := make(chan struct{})
+	//lint:allow rawgo fixture exercises the suppression path
+	go close(done)
+	<-done
+}
