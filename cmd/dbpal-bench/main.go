@@ -20,10 +20,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	goruntime "runtime"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -59,9 +62,19 @@ func main() {
 		scale.HyperoptTrials = *trials
 	}
 
+	// SIGINT/SIGTERM stop the suite at the next experiment boundary:
+	// the experiment in flight finishes and prints, later ones are
+	// skipped.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	ran := false
 	start := time.Now() //lint:allow determinism wall-clock timing is benchmark reporting only
 	run := func(name string, fn func()) {
+		if ctx.Err() != nil {
+			fmt.Printf("[%s skipped: interrupted]\n\n", name)
+			return
+		}
 		t0 := time.Now() //lint:allow determinism wall-clock timing is benchmark reporting only
 		fn()
 		fmt.Printf("[%s finished in %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
@@ -147,9 +160,12 @@ func main() {
 		})
 	}
 
-	if !ran {
+	if !ran && ctx.Err() == nil {
 		flag.Usage()
 		os.Exit(2)
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+	if ctx.Err() != nil {
+		os.Exit(1)
+	}
 }

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	dbpal "repro"
@@ -21,13 +24,20 @@ import (
 
 func main() {
 	var (
-		modelKind = flag.String("model", "sketch", "translator: sketch | seq2seq")
-		loadPath  = flag.String("load", "", "model file saved by dbpal-train")
-		train     = flag.Bool("train", false, "bootstrap and train a fresh model instead of loading")
-		failures  = flag.Bool("failures", false, "print every failed case")
-		seed      = flag.Int64("seed", 1, "pipeline/training seed for -train")
+		modelKind  = flag.String("model", "sketch", "translator: sketch | seq2seq")
+		loadPath   = flag.String("load", "", "model file saved by dbpal-train")
+		train      = flag.Bool("train", false, "bootstrap and train a fresh model instead of loading")
+		failures   = flag.Bool("failures", false, "print every failed case")
+		seed       = flag.Int64("seed", 1, "pipeline/training seed for -train")
+		execGuided = flag.Int("execguided", 1, "try up to N ranked candidates per question")
+		workers    = flag.Int("workers", 0, "evaluation worker-pool bound (0 = all cores)")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the evaluation; the report for the cases
+	// completed so far is still printed (flagged as partial).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var model dbpal.Translator
 	switch {
@@ -78,7 +88,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	rep := eval.EvalPatients(model, db, patients.Cases())
+	cases := patients.Cases()
+	rep, evalErr := eval.EvalPatientsCtx(ctx, model, db, cases, *execGuided, *workers)
+	if evalErr != nil {
+		fmt.Fprintf(os.Stderr, "evaluation interrupted (%v): partial report over %d/%d cases\n",
+			evalErr, rep.Overall.Total, len(cases))
+	}
 
 	fmt.Printf("\nPatients benchmark (%s model, semantic equivalence)\n", model.Name())
 	for _, c := range patients.Categories {
@@ -97,5 +112,8 @@ func main() {
 				fmt.Printf("  err:  %s\n", f.Err)
 			}
 		}
+	}
+	if evalErr != nil {
+		os.Exit(1)
 	}
 }

@@ -11,10 +11,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	dbpal "repro"
 	"repro/internal/patients"
@@ -74,9 +77,15 @@ func main() {
 		w = bufio.NewWriter(f)
 	}
 
+	// SIGINT/SIGTERM cancel the stage graph; pairs already emitted by
+	// the final stage are still flushed, so an interrupted run leaves a
+	// valid (deterministic-prefix) partial corpus.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	classCounts := map[string]int{}
 	pairs := 0
-	err := g.Stream(func(q dbpal.Pair) error {
+	err := g.Run(ctx, func(q dbpal.Pair) error {
 		pairs++
 		classCounts[q.Class.String()]++
 		if *prov {
@@ -88,13 +97,21 @@ func main() {
 	})
 	// A full disk or closed pipe must not produce a silently truncated
 	// corpus: surface the buffered writer's flush and the file close.
-	if err == nil {
-		err = w.Flush()
+	// On cancellation the partial corpus is flushed first.
+	interrupted := err != nil && ctx.Err() != nil
+	if err == nil || interrupted {
+		if ferr := w.Flush(); err == nil {
+			err = ferr
+		}
 	}
 	if f != nil {
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted: flushed partial corpus of %d pairs\n", pairs)
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

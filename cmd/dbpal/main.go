@@ -15,10 +15,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	dbpal "repro"
@@ -37,13 +40,29 @@ func main() {
 		rows       = flag.Int("rows", 40, "synthetic rows per table for non-patients schemas")
 		verbose    = flag.Bool("verbose", false, "print the full translation lifecycle per question")
 		execGuided = flag.Int("execguided", 1, "try up to N ranked candidates, keeping the first that executes")
+		deadline   = flag.Duration("deadline", 0, "per-question inference deadline per tier (0 = none)")
+		fallback   = flag.Bool("fallback", true, "degrade to a template nearest-neighbor tier when the primary model fails")
 	)
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the question in flight and exit the loop.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	s, db, err := resolveSchema(*schemaName, *rows, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// The training corpus also feeds the nearest-neighbor fallback
+	// tier, so it is synthesized even when the primary model's weights
+	// are loaded from disk.
+	var exs []dbpal.Example
+	if *loadPath == "" || *fallback {
+		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
+		fmt.Printf("pipeline synthesized %d NL-SQL pairs\n", len(pairs))
+		exs = dbpal.TrainingExamples(pairs, s)
 	}
 
 	var model dbpal.Translator
@@ -57,18 +76,22 @@ func main() {
 	} else {
 		fmt.Printf("bootstrapping DBPal for schema %q (%s model)...\n", s.Name, *modelKind)
 		t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
-		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
-		fmt.Printf("  pipeline synthesized %d NL-SQL pairs\n", len(pairs))
 		model = newModel(*modelKind, *seed)
-		model.Train(dbpal.TrainingExamples(pairs, s))
+		model.Train(exs)
 		fmt.Printf("  trained in %s\n", time.Since(t0).Round(time.Millisecond))
 	}
 
 	nli := dbpal.NewInterface(db, model)
 	nli.ExecutionGuided = *execGuided
+	nli.Deadline = *deadline
+	if *fallback {
+		nn := models.NewNearestNeighbor()
+		nn.Train(exs)
+		nli.Fallbacks = []dbpal.Translator{nn}
+	}
 	fmt.Println("type a question (empty line or ctrl-d to quit):")
 	sc := bufio.NewScanner(os.Stdin)
-	for {
+	for ctx.Err() == nil {
 		fmt.Print("> ")
 		if !sc.Scan() {
 			break
@@ -78,7 +101,7 @@ func main() {
 			break
 		}
 		if *verbose {
-			q, trace, err := nli.TranslateTrace(line)
+			q, trace, err := nli.TranslateTraceContext(ctx, line)
 			fmt.Println(indent(trace.String(), "  "))
 			if err != nil {
 				fmt.Printf("  error: %v\n", err)
@@ -92,12 +115,15 @@ func main() {
 			fmt.Println(indent(res.String(), "  "))
 			continue
 		}
-		res, q, err := nli.Ask(line)
+		res, q, err := nli.AskContext(ctx, line)
 		if err != nil {
 			fmt.Printf("  error: %v\n", err)
 			continue
 		}
 		fmt.Printf("  SQL: %s\n%s\n", q, indent(res.String(), "  "))
+	}
+	if ctx.Err() != nil {
+		fmt.Println("\ninterrupted")
 	}
 }
 

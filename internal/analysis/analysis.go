@@ -3,11 +3,11 @@
 // module loader (load.go), a //lint:allow suppression directive, and
 // deterministic diagnostic reporting. cmd/dbpal-lint drives it over
 // the whole module; the shipped analyzers (determinism, maporder,
-// rawgo, errdrop, seedsplit) machine-check the invariants DESIGN.md
-// only prose-checks: explicit seeds, sorted map iteration, all
-// concurrency through internal/par / internal/pipeline, no silently
-// dropped errors, and SplitSeed-derived RNGs inside parallel
-// callbacks.
+// rawgo, errdrop, seedsplit, ctxfirst) machine-check the invariants
+// DESIGN.md only prose-checks: explicit seeds, sorted map iteration,
+// all concurrency through internal/par / internal/pipeline, no
+// silently dropped errors, SplitSeed-derived RNGs inside parallel
+// callbacks, and context.Context first in exported signatures.
 //
 // Suppression: a comment of the form
 //
@@ -236,7 +236,7 @@ func FormatJSON(w io.Writer, diags []Diagnostic) error {
 
 // Suite returns the shipped analyzers in their canonical order.
 func Suite() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, RawGo, ErrDrop, SeedSplit}
+	return []*Analyzer{Determinism, MapOrder, RawGo, ErrDrop, SeedSplit, CtxFirst}
 }
 
 // hasSegment reports whether any "/"-separated segment of path equals

@@ -144,6 +144,10 @@ func TestSeedSplitFixture(t *testing.T) {
 	runFixture(t, SeedSplit, "seedsplit", "repro/fixtures/seedsplit")
 }
 
+func TestCtxFirstFixture(t *testing.T) {
+	runFixture(t, CtxFirst, "ctxfirst", "repro/fixtures/ctxfirst")
+}
+
 // TestAnalyzerConfiguration pins the package-specific configuration:
 // which packages each analyzer covers and which it exempts.
 func TestAnalyzerConfiguration(t *testing.T) {
@@ -167,7 +171,7 @@ func TestAnalyzerConfiguration(t *testing.T) {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.applies)
 		}
 	}
-	for _, a := range []*Analyzer{Determinism, ErrDrop, SeedSplit} {
+	for _, a := range []*Analyzer{Determinism, ErrDrop, SeedSplit, CtxFirst} {
 		if a.AppliesTo != nil {
 			t.Errorf("%s should apply to every package", a.Name)
 		}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxFirst enforces the context-placement convention on the exported
+// API surface: an exported function or method that accepts a
+// context.Context must accept it as its first parameter. A context
+// buried later in the signature reads as optional state instead of
+// the call's cancellation scope, and it breaks the call-site symmetry
+// (f(ctx, ...)) the rest of the fault-tolerance layer relies on when
+// threading cancellation through.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "flags exported functions taking context.Context anywhere but first",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !fd.Name.IsExported() || fd.Type.Params == nil {
+					continue
+				}
+				// Walk the flattened parameter list; grouped names
+				// (a, b T) count once per name.
+				idx := 0
+				for _, field := range fd.Type.Params.List {
+					n := len(field.Names)
+					if n == 0 {
+						n = 1 // unnamed parameter
+					}
+					if t := pass.TypeOf(field.Type); t != nil && t.String() == "context.Context" && idx != 0 {
+						pass.Reportf(field.Pos(), "exported %s takes context.Context as parameter %d; the context must come first", fd.Name.Name, idx+1)
+					}
+					idx += n
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,50 @@
+// Package fixture exercises the ctxfirst analyzer: exported functions
+// and methods accepting a context.Context must take it first.
+package fixture
+
+import "context"
+
+// Good takes the context first.
+func Good(ctx context.Context, n int) error {
+	_ = n
+	return ctx.Err()
+}
+
+// OnlyCtx has nothing before it to get wrong.
+func OnlyCtx(ctx context.Context) error { return ctx.Err() }
+
+// Bad buries the context behind data parameters.
+func Bad(n int, ctx context.Context) error { // want `context must come first`
+	_ = n
+	return ctx.Err()
+}
+
+// BadGrouped hides the context inside a grouped trailing field.
+func BadGrouped(a, b int, ctx context.Context) error { // want `context must come first`
+	_, _ = a, b
+	return ctx.Err()
+}
+
+type worker struct{}
+
+// Run is an exported method with the context misplaced.
+func (worker) Run(name string, ctx context.Context) error { // want `context must come first`
+	_ = name
+	return ctx.Err()
+}
+
+// Plain has no context at all.
+func Plain(a, b string) string { return a + b }
+
+// unexportedBad is private API; the convention is only machine-checked
+// on the exported surface.
+func unexportedBad(n int, ctx context.Context) error {
+	_ = n
+	return ctx.Err()
+}
+
+// Allowed documents an intentional exception.
+func Allowed(n int, ctx context.Context) error { //lint:allow ctxfirst legacy signature kept for compatibility
+	_ = n
+	return ctx.Err()
+}

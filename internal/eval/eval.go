@@ -10,6 +10,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -80,6 +81,17 @@ func EvalSpider(tr models.Translator, qs []spider.Question) *SpiderReport {
 // count: results are produced into per-question slots and aggregated
 // in question order.
 func EvalSpiderWorkers(tr models.Translator, qs []spider.Question, workers int) *SpiderReport {
+	// Background is never done, so the report is always complete.
+	rep, _ := EvalSpiderCtx(context.Background(), tr, qs, workers)
+	return rep
+}
+
+// EvalSpiderCtx is EvalSpiderWorkers with cooperative cancellation.
+// On cancellation it returns the context's error together with a
+// partial report covering the completed prefix of the question list —
+// par.MapCtx dispatches questions in index order, so the evaluated
+// set is always a prefix and the partial report is deterministic.
+func EvalSpiderCtx(ctx context.Context, tr models.Translator, qs []spider.Question, workers int) (*SpiderReport, error) {
 	rep := &SpiderReport{ByDifficulty: map[sqlast.Difficulty]*Frac{}}
 	for _, d := range sqlast.Difficulties {
 		rep.ByDifficulty[d] = &Frac{}
@@ -93,14 +105,15 @@ func EvalSpiderWorkers(tr models.Translator, qs []spider.Question, workers int) 
 		}
 	}
 	rep.Results = make([]SpiderResult, len(qs))
-	par.Map(workers, len(qs), func(i int) {
+	done := make([]bool, len(qs))
+	err := par.MapCtx(ctx, workers, len(qs), func(i int) {
 		q := qs[i]
 		nl := lemma.LemmatizeAll(tokens.Tokenize(q.NL))
 		predToks := tr.Translate(nl, schemaToks[q.Schema])
 		gold := sqlast.MustParse(q.SQL)
 		correct := false
 		var predStr string
-		if pred, err := sqlast.ParseTokens(predToks); err == nil {
+		if pred, perr := sqlast.ParseTokens(predToks); perr == nil {
 			predStr = pred.String()
 			correct = sqlast.EqualCanonical(pred, gold)
 		} else {
@@ -113,12 +126,25 @@ func EvalSpiderWorkers(tr models.Translator, qs []spider.Question, workers int) 
 			Difficulty: q.Difficulty,
 			Pattern:    gold.Pattern(),
 		}
+		done[i] = true
 	})
+	rep.Results = rep.Results[:donePrefix(done)]
 	for _, r := range rep.Results {
 		rep.Overall.Add(r.Correct)
 		rep.ByDifficulty[r.Difficulty].Add(r.Correct)
 	}
-	return rep
+	return rep, err
+}
+
+// donePrefix returns the length of the completed prefix of the done
+// flags (MapCtx guarantees completion is prefix-shaped).
+func donePrefix(done []bool) int {
+	for i, d := range done {
+		if !d {
+			return i
+		}
+	}
+	return len(done)
 }
 
 // CoverageBucket classifies a test query's pattern by which training
@@ -235,6 +261,17 @@ type patientsOutcome struct {
 // aggregated in case order, making the report identical for every
 // worker count.
 func EvalPatientsWorkers(tr models.Translator, db *engine.Database, cases []patients.Case, execGuided, workers int) *PatientsReport {
+	// Background is never done, so the report is always complete.
+	rep, _ := EvalPatientsCtx(context.Background(), tr, db, cases, execGuided, workers)
+	return rep
+}
+
+// EvalPatientsCtx is EvalPatientsWorkers with cooperative
+// cancellation. On cancellation it returns the context's error
+// together with a partial report covering the completed prefix of the
+// case list (see EvalSpiderCtx), so an interrupted evaluation can
+// still flush what it measured.
+func EvalPatientsCtx(ctx context.Context, tr models.Translator, db *engine.Database, cases []patients.Case, execGuided, workers int) (*PatientsReport, error) {
 	rep := &PatientsReport{ByCategory: map[patients.Category]*Frac{}}
 	for _, c := range patients.Categories {
 		rep.ByCategory[c] = &Frac{}
@@ -242,16 +279,17 @@ func EvalPatientsWorkers(tr models.Translator, db *engine.Database, cases []pati
 	rt := runtime.NewTranslator(db, tr)
 	rt.ExecutionGuided = execGuided
 	outcomes := make([]patientsOutcome, len(cases))
-	par.Map(workers, len(cases), func(i int) {
+	done := make([]bool, len(cases))
+	err := par.MapCtx(ctx, workers, len(cases), func(i int) {
 		cs := cases[i]
 		gold := sqlast.MustParse(cs.SQL)
-		goldRes, err := db.Execute(gold)
-		if err != nil {
-			panic(fmt.Sprintf("eval: gold query %q does not execute: %v", cs.SQL, err))
+		goldRes, gerr := db.Execute(gold)
+		if gerr != nil {
+			panic(fmt.Sprintf("eval: gold query %q does not execute: %v", cs.SQL, gerr))
 		}
 		var out patientsOutcome
-		pred, err := rt.Translate(cs.NL)
-		if err == nil {
+		pred, terr := rt.Translate(cs.NL)
+		if terr == nil {
 			out.pred = pred.String()
 			predRes, execErr := db.Execute(pred)
 			if execErr == nil {
@@ -260,17 +298,18 @@ func EvalPatientsWorkers(tr models.Translator, db *engine.Database, cases []pati
 				out.err = execErr.Error()
 			}
 		} else {
-			out.err = err.Error()
+			out.err = terr.Error()
 		}
 		outcomes[i] = out
+		done[i] = true
 	})
-	for i, cs := range cases {
-		out := outcomes[i]
+	for i := 0; i < donePrefix(done); i++ {
+		cs, out := cases[i], outcomes[i]
 		rep.Overall.Add(out.correct)
 		rep.ByCategory[cs.Category].Add(out.correct)
 		if !out.correct {
 			rep.Failures = append(rep.Failures, PatientsFailure{Case: cs, Pred: out.pred, Err: out.err})
 		}
 	}
-	return rep
+	return rep, err
 }

@@ -1,0 +1,77 @@
+package models
+
+// NearestNeighbor is the last tier of the runtime degradation chain: a
+// non-parametric Translator that memorizes its training pairs and
+// answers a question with the SQL of the stored example whose NL
+// tokens are closest under Jaccard similarity over token sets. It has
+// no parameters, cannot panic on any input, and trains in O(n) — the
+// always-available floor beneath the neural tiers.
+//
+// Ties are broken by the lowest stored index, so the answer depends
+// only on the training order, never on map iteration or scheduling.
+type NearestNeighbor struct {
+	examples []Example
+	sets     []map[string]bool
+}
+
+// NewNearestNeighbor returns an untrained nearest-neighbor matcher.
+func NewNearestNeighbor() *NearestNeighbor { return &NearestNeighbor{} }
+
+// Name implements Translator.
+func (m *NearestNeighbor) Name() string { return "template-nn" }
+
+// Train implements Translator: it stores the examples and precomputes
+// their NL token sets.
+func (m *NearestNeighbor) Train(examples []Example) {
+	m.examples = append([]Example(nil), examples...)
+	m.sets = make([]map[string]bool, len(m.examples))
+	for i, ex := range m.examples {
+		m.sets[i] = tokenSet(ex.NL)
+	}
+}
+
+// Translate implements Translator: the SQL of the nearest stored
+// example by Jaccard similarity of NL token sets, or nil when nothing
+// was stored or the question is empty.
+func (m *NearestNeighbor) Translate(nl, _ []string) []string {
+	q := tokenSet(nl)
+	if len(q) == 0 || len(m.examples) == 0 {
+		return nil
+	}
+	best, bestSim := -1, -1.0
+	for i, s := range m.sets {
+		sim := jaccard(q, s)
+		if sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	if best < 0 || bestSim <= 0 {
+		return nil
+	}
+	return append([]string(nil), m.examples[best].SQL...)
+}
+
+func tokenSet(toks []string) map[string]bool {
+	s := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		s[t] = true
+	}
+	return s
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range a {
+		if b[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

@@ -1,6 +1,10 @@
 package models
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -109,44 +113,83 @@ func (m *Seq2Seq) build(vocabSize int) {
 // up to Workers goroutines into shadow gradient lanes — before each
 // step. Results are bit-identical for every worker count.
 func (m *Seq2Seq) Train(examples []Example) {
+	// Background is never done and no checkpointing is configured, so
+	// the error is always nil.
+	_ = m.TrainContext(context.Background(), examples, TrainOptions{})
+}
+
+// TrainContext is Train with cooperative cancellation and optional
+// checkpoint/resume. Cancellation is observed between optimizer steps
+// (and between the per-example backprops of a batch); when a
+// checkpoint destination is configured, a final snapshot is written
+// before the context's error is returned, so an interrupted run never
+// loses completed steps. Resuming from a checkpoint written over the
+// same examples and configuration continues the exact weight
+// trajectory of the uninterrupted run (see trainSchedule).
+func (m *Seq2Seq) TrainContext(ctx context.Context, examples []Example, opts TrainOptions) error {
 	if len(examples) == 0 {
-		return
+		return nil
 	}
 	m.vocab = BuildVocabs(examples, m.cfg.MinCount)
+	// build draws the same RNG sequence on fresh and resumed runs —
+	// that replay, not serialized RNG internals, is what puts the
+	// generator back in position after a resume.
 	m.build(m.vocab.Size())
 	opt := neural.NewAdam(m.ps, m.cfg.LR)
 
+	sched := &trainSchedule{
+		epochs:    m.cfg.Epochs,
+		sampleCap: m.cfg.SampleCap,
+		batchSize: m.cfg.BatchSize,
+		workers:   m.cfg.Workers,
+		gradClip:  m.cfg.GradClip,
+		rng:       m.rng,
+		main:      m.ps,
+		opt:       opt,
+	}
 	bs := batchSizeOf(m.cfg.BatchSize)
-	var lanes []*Seq2Seq
-	var lanePS []*neural.ParamSet
 	if bs > 1 {
-		lanes = make([]*Seq2Seq, bs)
-		lanePS = make([]*neural.ParamSet, bs)
+		lanes := make([]*Seq2Seq, bs)
+		sched.lanes = make([]*neural.ParamSet, bs)
 		for i := range lanes {
 			lanes[i] = m.workerClone()
-			lanePS[i] = lanes[i].ps
+			sched.lanes[i] = lanes[i].ps
 		}
+		sched.accum = func(lane, exIdx int) { lanes[lane].backprop(examples[exIdx]) }
+	} else {
+		sched.accum = func(_, exIdx int) { m.backprop(examples[exIdx]) }
 	}
 
-	order := make([]int, len(examples))
-	for i := range order {
-		order[i] = i
-	}
-	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
-		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		n := len(order)
-		if m.cfg.SampleCap > 0 && n > m.cfg.SampleCap {
-			n = m.cfg.SampleCap
+	if r := opts.Resume; r != nil {
+		if err := m.restoreCheckpoint(r); err != nil {
+			return err
 		}
-		if bs == 1 {
-			for _, idx := range order[:n] {
-				m.step(examples[idx], opt)
-			}
-			continue
+		if err := opt.Restore(r.Adam); err != nil {
+			return err
 		}
-		trainEpochBatched(order[:n], bs, m.cfg.Workers, m.ps, lanePS, m.cfg.GradClip, opt,
-			func(lane, exIdx int) { lanes[lane].backprop(examples[exIdx]) })
 	}
+	scheduleCheckpointing(sched, opts, func(epoch, step int) (*Checkpoint, error) {
+		return snapshot(m.Name(), epoch, step, m.SaveFull, opt)
+	})
+	return sched.run(ctx, len(examples))
+}
+
+// restoreCheckpoint copies a checkpoint's weights into the
+// freshly-built parameter set, validating that the checkpoint matches
+// this model and vocabulary.
+func (m *Seq2Seq) restoreCheckpoint(ck *Checkpoint) error {
+	if err := resumeKindErr(ck, m.Name()); err != nil {
+		return err
+	}
+	var in savedSeq2Seq
+	if err := gob.NewDecoder(bytes.NewReader(ck.Model)).Decode(&in); err != nil {
+		return fmt.Errorf("models: resume: decode checkpoint model: %w", err)
+	}
+	if len(in.Vocab) != m.vocab.Size() {
+		return fmt.Errorf("models: resume: vocabulary size %d does not match checkpoint's %d (resume requires the original examples and config)",
+			m.vocab.Size(), len(in.Vocab))
+	}
+	return restoreParams(m.ps.Mats(), m.ps.Names(), in.Mats)
 }
 
 // workerClone returns a model that shares this model's weights and

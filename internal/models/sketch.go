@@ -1,6 +1,9 @@
 package models
 
 import (
+	"bytes"
+	"context"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
@@ -266,12 +269,21 @@ func kindName(k slotKind) string {
 
 // Train implements Translator.
 func (m *Sketch) Train(examples []Example) {
+	// Background is never done and no checkpointing is configured, so
+	// the error is always nil.
+	_ = m.TrainContext(context.Background(), examples, TrainOptions{})
+}
+
+// TrainContext is Train with cooperative cancellation and optional
+// checkpoint/resume; the contract matches Seq2Seq.TrainContext.
+func (m *Sketch) TrainContext(ctx context.Context, examples []Example, opts TrainOptions) error {
 	if len(examples) == 0 {
-		return
+		return nil
 	}
 	m.vocab = BuildVocabs(examples, m.cfg.MinCount)
 
-	// Pass 1: build the sketch inventory.
+	// Pass 1: build the sketch inventory. Deterministic in the example
+	// list, so a resumed run reconstructs the same inventory.
 	m.sketches = nil
 	m.byKey = map[string]int{}
 	for _, ex := range examples {
@@ -283,42 +295,65 @@ func (m *Sketch) Train(examples []Example) {
 		}
 	}
 
+	// buildParams draws the same RNG sequence on fresh and resumed
+	// runs, putting the generator back in position without serializing
+	// its internals.
 	m.buildParams()
 	opt := neural.NewAdam(m.ps, m.cfg.LR)
 
+	sched := &trainSchedule{
+		epochs:    m.cfg.Epochs,
+		sampleCap: m.cfg.SampleCap,
+		batchSize: m.cfg.BatchSize,
+		workers:   m.cfg.Workers,
+		gradClip:  m.cfg.GradClip,
+		rng:       m.rng,
+		main:      m.ps,
+		opt:       opt,
+	}
 	bs := batchSizeOf(m.cfg.BatchSize)
-	var lanes []*Sketch
-	var lanePS []*neural.ParamSet
 	if bs > 1 {
-		lanes = make([]*Sketch, bs)
-		lanePS = make([]*neural.ParamSet, bs)
+		lanes := make([]*Sketch, bs)
+		sched.lanes = make([]*neural.ParamSet, bs)
 		for i := range lanes {
 			lanes[i] = m.workerClone()
-			lanePS[i] = lanes[i].ps
+			sched.lanes[i] = lanes[i].ps
 		}
+		sched.accum = func(lane, exIdx int) { lanes[lane].step(examples[exIdx]) }
+	} else {
+		sched.accum = func(_, exIdx int) { m.step(examples[exIdx]) }
 	}
 
-	order := make([]int, len(examples))
-	for i := range order {
-		order[i] = i
-	}
-	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
-		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		n := len(order)
-		if m.cfg.SampleCap > 0 && n > m.cfg.SampleCap {
-			n = m.cfg.SampleCap
+	if r := opts.Resume; r != nil {
+		if err := m.restoreCheckpoint(r); err != nil {
+			return err
 		}
-		if bs == 1 {
-			for _, idx := range order[:n] {
-				m.step(examples[idx])
-				m.ps.ClipGrad(m.cfg.GradClip)
-				opt.Step()
-			}
-			continue
+		if err := opt.Restore(r.Adam); err != nil {
+			return err
 		}
-		trainEpochBatched(order[:n], bs, m.cfg.Workers, m.ps, lanePS, m.cfg.GradClip, opt,
-			func(lane, exIdx int) { lanes[lane].step(examples[exIdx]) })
 	}
+	scheduleCheckpointing(sched, opts, func(epoch, step int) (*Checkpoint, error) {
+		return snapshot(m.Name(), epoch, step, m.SaveFull, opt)
+	})
+	return sched.run(ctx, len(examples))
+}
+
+// restoreCheckpoint copies a checkpoint's weights into the
+// freshly-built parameter set, validating that the checkpoint matches
+// this model, vocabulary, and sketch inventory.
+func (m *Sketch) restoreCheckpoint(ck *Checkpoint) error {
+	if err := resumeKindErr(ck, m.Name()); err != nil {
+		return err
+	}
+	var in savedSketch
+	if err := gob.NewDecoder(bytes.NewReader(ck.Model)).Decode(&in); err != nil {
+		return fmt.Errorf("models: resume: decode checkpoint model: %w", err)
+	}
+	if len(in.Vocab) != m.vocab.Size() || len(in.Sketches) != len(m.sketches) {
+		return fmt.Errorf("models: resume: vocabulary/inventory (%d/%d) does not match checkpoint's (%d/%d) (resume requires the original examples and config)",
+			m.vocab.Size(), len(m.sketches), len(in.Vocab), len(in.Sketches))
+	}
+	return restoreParams(m.ps.Mats(), m.ps.Names(), in.Mats)
 }
 
 // workerClone returns a model sharing this model's weights, vocabulary

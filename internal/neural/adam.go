@@ -117,6 +117,43 @@ func NewAdam(p *ParamSet, lr float64) *Adam {
 	return a
 }
 
+// AdamState is the optimizer's serializable state: the step counter
+// and the first/second moment buffers, in parameter registration
+// order. Checkpoint/resume must carry it — resuming with fresh moments
+// would change every subsequent update.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State snapshots the optimizer (deep copies, safe to serialize while
+// training continues).
+func (a *Adam) State() AdamState {
+	st := AdamState{T: a.t, M: make([][]float64, len(a.m)), V: make([][]float64, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float64(nil), a.m[i]...)
+		st.V[i] = append([]float64(nil), a.v[i]...)
+	}
+	return st
+}
+
+// Restore loads a snapshot taken by State into this optimizer. The
+// optimizer must have been built over a ParamSet with the same shapes.
+func (a *Adam) Restore(st AdamState) error {
+	if len(st.M) != len(a.m) || len(st.V) != len(a.v) {
+		return fmt.Errorf("neural: Adam.Restore: state has %d/%d moment buffers, optimizer has %d", len(st.M), len(st.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(st.M[i]) != len(a.m[i]) || len(st.V[i]) != len(a.v[i]) {
+			return fmt.Errorf("neural: Adam.Restore: moment buffer %d has %d/%d values, want %d", i, len(st.M[i]), len(st.V[i]), len(a.m[i]))
+		}
+		copy(a.m[i], st.M[i])
+		copy(a.v[i], st.V[i])
+	}
+	a.t = st.T
+	return nil
+}
+
 // Step applies one Adam update from the accumulated gradients and
 // clears them.
 func (a *Adam) Step() {

@@ -24,9 +24,11 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Count resolves a worker-count knob: values <= 0 select
@@ -54,8 +56,23 @@ func Count(n int) int {
 // after the pool drains, so callers observe the same crash semantics
 // as a sequential loop instead of a process abort from a worker.
 func Map(workers, n int, fn func(i int)) {
+	// context.Background is never done, so the error is always nil.
+	_ = MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no
+// further indices are dispatched; calls already in flight run to
+// completion, and the context's error is returned. Because indices are
+// handed out strictly in order and every dispatched call completes,
+// the set of executed indices is always a prefix [0, k) of [0, n) —
+// cancellation can shorten the prefix but never punch holes in it, at
+// any worker count. A nil return means all n calls ran.
+//
+// Panic semantics match Map: a panic inside fn is captured and
+// re-raised on the calling goroutine after the pool drains.
+func MapCtx(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers = Count(workers)
 	if workers > n {
@@ -63,9 +80,12 @@ func Map(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 
 	idx := make(chan int)
@@ -88,14 +108,72 @@ func Map(workers, n int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+	var stopped error
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		// Checked before the select so a done context always wins over
+		// a ready worker (select chooses randomly among ready cases).
+		if err := ctx.Err(); err != nil {
+			stopped = err
+			break
+		}
+		select {
+		case <-done:
+			stopped = ctx.Err()
+			break feed
+		case idx <- i:
+		}
 	}
 	close(idx)
 	wg.Wait()
 	if panicked != nil {
 		panic(fmt.Sprintf("par: worker panic: %v", panicked))
 	}
+	return stopped
+}
+
+// ErrDeadline is returned by Await and Deadline when fn is still
+// running at expiry.
+var ErrDeadline = fmt.Errorf("par: deadline exceeded")
+
+// Await runs fn on its own goroutine and waits for it to finish or for
+// ctx to be done, whichever comes first. It returns nil when fn
+// completed, ErrDeadline when ctx expired first. A panic in fn is
+// re-raised on the caller when the caller is still waiting.
+//
+// When ctx wins, fn keeps running on its abandoned goroutine until it
+// returns on its own (there is no way to preempt it); its eventual
+// panic, if any, is swallowed. Callers use this to put a hard bound on
+// an uncooperative plug-in — a misbehaving model must cost at most one
+// leaked goroutine, never a hung process.
+func Await(ctx context.Context, fn func()) error {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		fn()
+	}()
+	select {
+	case r := <-done:
+		if r != nil {
+			panic(r)
+		}
+		return nil
+	case <-ctx.Done():
+		return ErrDeadline
+	}
+}
+
+// Deadline is Await with a duration bound; d <= 0 means no bound (fn
+// runs inline).
+func Deadline(d time.Duration, fn func()) error {
+	if d <= 0 {
+		fn()
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return Await(ctx, fn)
 }
 
 // SplitSeed derives the i-th child seed from base using a SplitMix64

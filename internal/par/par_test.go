@@ -1,12 +1,15 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCount(t *testing.T) {
@@ -94,5 +97,92 @@ func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
 	b := rand.New(rand.NewSource(SplitSeed(7, 1))).Float64()
 	if a == b {
 		t.Fatal("adjacent child streams coincide")
+	}
+}
+
+func TestMapCtxCancelledPrefix(t *testing.T) {
+	// Cancel partway through: the executed indices must form a prefix
+	// [0, k) at every worker count — cancellation can shorten the
+	// stream but never punch holes in it.
+	for _, workers := range []int{1, 4, 16} {
+		const n = 200
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran [n]atomic.Bool
+		err := MapCtx(ctx, workers, n, func(i int) {
+			if i == 40 {
+				cancel()
+			}
+			ran[i].Store(true)
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: cancelled run returned nil", workers)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		seenGap := false
+		for i := 0; i < n; i++ {
+			if !ran[i].Load() {
+				seenGap = true
+				continue
+			}
+			if seenGap {
+				t.Fatalf("workers=%d: executed set has a hole before index %d", workers, i)
+			}
+		}
+		if !ran[40].Load() || ran[n-1].Load() {
+			t.Fatalf("workers=%d: prefix bounds wrong", workers)
+		}
+	}
+}
+
+func TestMapCtxNilErrorRunsAll(t *testing.T) {
+	var calls atomic.Int64
+	if err := MapCtx(context.Background(), 4, 50, func(i int) { calls.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 50 {
+		t.Fatalf("calls = %d", calls.Load())
+	}
+}
+
+func TestMapCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := MapCtx(ctx, 4, 10, func(int) { t.Error("fn ran under a done context") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAwaitCompletesAndTimesOut(t *testing.T) {
+	if err := Await(context.Background(), func() {}); err != nil {
+		t.Fatalf("completed fn returned %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	block := make(chan struct{})
+	defer close(block)
+	if err := Await(ctx, func() { <-block }); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired Await returned %v", err)
+	}
+}
+
+func TestAwaitRepanicsWhileWaiting(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "kaboom") {
+			t.Fatalf("panic not re-raised: %v", r)
+		}
+	}()
+	_ = Await(context.Background(), func() { panic("kaboom") })
+}
+
+func TestDeadlineUnboundedRunsInline(t *testing.T) {
+	ran := false
+	if err := Deadline(0, func() { ran = true }); err != nil || !ran {
+		t.Fatalf("unbounded Deadline: ran=%v err=%v", ran, err)
+	}
+	if err := Deadline(time.Millisecond, func() { time.Sleep(200 * time.Millisecond) }); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("slow fn under Deadline returned %v", err)
 	}
 }

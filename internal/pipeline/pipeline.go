@@ -25,8 +25,10 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/generator"
@@ -80,8 +82,49 @@ type Stats struct {
 	Extra  map[string]int64 `json:"extra,omitempty"`
 }
 
+// StageError is the typed failure a Graph run returns when a stage
+// panics: the stage's name, how far it had gotten, what it panicked
+// with, and the provenance of the last pair it emitted. Because every
+// stage is order-preserving, the pairs delivered before the error are
+// always a prefix of the canonical stream — for a deterministic fault
+// (same stage, same item) the prefix is identical at any worker count.
+type StageError struct {
+	// Stage is the name of the stage that failed.
+	Stage string
+	// Index is the number of pairs the stage had emitted when it
+	// failed — the stream position of the fault.
+	Index int64
+	// Recovered is the recovered panic value.
+	Recovered any
+	// Last is a copy of the last pair the stage emitted before
+	// failing (nil when it failed before emitting anything); its
+	// Stage/Origin fields carry the provenance trail.
+	Last *Pair
+}
+
+// Error implements error.
+func (e *StageError) Error() string {
+	if e.Last != nil {
+		return fmt.Sprintf("pipeline: stage %q panicked after emitting %d pairs (last origin %s/%s): %v",
+			e.Stage, e.Index, e.Last.Stage, e.Last.Origin, e.Recovered)
+	}
+	return fmt.Sprintf("pipeline: stage %q panicked after emitting %d pairs: %v", e.Stage, e.Index, e.Recovered)
+}
+
+// graphCancel is the sentinel panic the graph's emit wrappers raise to
+// unwind a stage once the run context is done (or the consumer's emit
+// callback failed). It is how cancellation reaches arbitrarily deep
+// into a running stage — a source in the middle of a recursive
+// generator included — without every stage having to poll a context.
+// Stage goroutines recover it and treat it as a graceful stop, never
+// as a StageError.
+type graphCancelSentinel struct{}
+
+var graphCancel = graphCancelSentinel{}
+
 // Graph is a runnable chain of stages. Build one per run (stages are
-// single-use), execute it with Stream or Collect, then read Stats.
+// single-use), execute it with Run, Stream, or Collect, then read
+// Stats.
 type Graph struct {
 	workers int
 	stages  []Stage
@@ -97,25 +140,67 @@ func New(workers int, stages ...Stage) *Graph {
 	return &Graph{workers: workers, stages: stages}
 }
 
-// Stream runs the graph, calling emit for every pair the final stage
+// Run executes the graph, calling emit for every pair the final stage
 // produces, in order, on the calling goroutine — constant memory for
-// any corpus size. If emit returns an error, Stream stops invoking it,
-// drains the (finite) stream, and returns that first error.
-func (g *Graph) Stream(emit func(Pair) error) error {
+// any corpus size.
+//
+// Failure contract (DESIGN.md, "Fault tolerance"):
+//   - A stage panic does not crash the caller: the run unwinds every
+//     stage without leaking goroutines and Run returns a *StageError
+//     identifying the stage, stream position, and recovered value.
+//     The pairs emitted before the error are a prefix of the canonical
+//     stream; for a deterministic fault the prefix is identical at any
+//     worker count.
+//   - When ctx is done, in-flight stages are unwound (emit wrappers
+//     stop the stream cooperatively) and Run returns ctx.Err(). Pairs
+//     already delivered remain a valid prefix of the canonical stream.
+//   - If emit returns an error, Run stops invoking it, aborts the
+//     upstream stages the same way, and returns that first error.
+//
+// A nil ctx is treated as context.Background().
+func (g *Graph) Run(ctx context.Context, emit func(Pair) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g.stats = make([]Stats, len(g.stages))
-	var panicOnce sync.Once
-	var panicked any
+	for i, st := range g.stages {
+		g.stats[i].Stage = st.Name()
+	}
+	// An already-done context runs nothing: without this check the
+	// source could race a full channel buffer ahead of the watcher.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	var wg sync.WaitGroup
+	var cancelled atomic.Bool
+	var errOnce sync.Once
+	var stageErr *StageError
+
+	// The watcher translates ctx expiry into the cancelled flag the
+	// emit wrappers poll; watchDone stops it when the run finishes
+	// first. It is deliberately outside wg: it only exits once Run
+	// returns (the deferred close), after every stage has drained.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancelled.Store(true)
+			case <-watchDone:
+			}
+		}()
+	}
 
 	var in <-chan Pair
 	for i, st := range g.stages {
-		g.stats[i].Stage = st.Name()
 		out := make(chan Pair, chanBuf)
 		wg.Add(1)
 		go func(i int, st Stage, in <-chan Pair, out chan<- Pair) {
+			var last *Pair
 			defer wg.Done()
-			// Drain a possibly unconsumed input (panicked or lazy
-			// stage) so upstream senders can finish. Runs after
+			// Drain a possibly unconsumed input (failed, cancelled, or
+			// lazy stage) so upstream senders can finish. Runs after
 			// close(out), which runs after the recover below.
 			defer func() {
 				if in != nil {
@@ -125,13 +210,28 @@ func (g *Graph) Stream(emit func(Pair) error) error {
 			}()
 			defer close(out)
 			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() { panicked = r })
+				r := recover()
+				if r == nil {
+					return
 				}
+				if _, ok := r.(graphCancelSentinel); ok {
+					return // cooperative unwind, not a fault
+				}
+				errOnce.Do(func() {
+					stageErr = &StageError{Stage: st.Name(), Index: g.stats[i].Out, Recovered: r, Last: last}
+				})
+				// Make sure the rest of the graph unwinds too: a fault
+				// in one stage ends the whole run.
+				cancelled.Store(true)
 			}()
 			start := time.Now() //lint:allow determinism WallNS is instrumentation; it never feeds the stream
 			st.Run(in, func(p Pair) {
+				if cancelled.Load() {
+					panic(graphCancel)
+				}
 				g.stats[i].Out++
+				q := p
+				last = &q
 				out <- p
 			}, g.workers)
 			g.stats[i].WallNS = time.Since(start).Nanoseconds()
@@ -142,31 +242,64 @@ func (g *Graph) Stream(emit func(Pair) error) error {
 		in = out
 	}
 
-	var err error
+	// Everything the final stage emitted before a fault or
+	// cancellation is still a valid prefix of the canonical stream, so
+	// it is delivered (a SIGINT-cancelled generation run flushes what
+	// it computed). Only the caller's own emit error stops delivery —
+	// the contract is that emit is never invoked again after failing.
+	var emitErr error
 	for p := range in {
-		if err == nil {
-			err = emit(p)
+		if emitErr == nil {
+			if err := emit(p); err != nil {
+				emitErr = err
+				// Abort upstream work instead of computing pairs no
+				// one will consume.
+				cancelled.Store(true)
+			}
 		}
 	}
 	wg.Wait()
 	for i := 1; i < len(g.stats); i++ {
 		g.stats[i].In = g.stats[i-1].Out
 	}
-	if panicked != nil {
-		panic(fmt.Sprintf("pipeline: stage panic: %v", panicked))
+	switch {
+	case stageErr != nil:
+		return stageErr
+	case emitErr != nil:
+		return emitErr
+	case ctx.Err() != nil:
+		return ctx.Err()
 	}
-	return err
+	return nil
 }
 
-// Collect runs the graph and returns every emitted pair.
+// Stream runs the graph without a cancellation context; see Run for
+// the emit and failure contract.
+func (g *Graph) Stream(emit func(Pair) error) error {
+	return g.Run(context.Background(), emit)
+}
+
+// Collect runs the graph and returns every emitted pair. A stage
+// panic is re-raised as a *StageError panic (Collect has no error
+// return); callers that want the error instead use CollectContext.
 func (g *Graph) Collect() []Pair {
+	out, err := g.CollectContext(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// CollectContext runs the graph under ctx and returns every emitted
+// pair, plus the run error (nil, *StageError, or ctx.Err()). On error
+// the returned pairs are the prefix delivered before the failure.
+func (g *Graph) CollectContext(ctx context.Context) ([]Pair, error) {
 	var out []Pair
-	// The emit callback never fails, so Stream can only return nil.
-	_ = g.Stream(func(p Pair) error {
+	err := g.Run(ctx, func(p Pair) error {
 		out = append(out, p)
 		return nil
 	})
-	return out
+	return out, err
 }
 
 // Stats returns the per-stage snapshot of the last Stream/Collect.
@@ -314,8 +447,10 @@ func SeededMap(name string, base int64, fn func(p Pair, seed int64) (Pair, bool)
 func (m *mapStage) Name() string { return m.name }
 
 type mapResult struct {
-	p  Pair
-	ok bool
+	p      Pair
+	ok     bool
+	failed bool // fn panicked on this item
+	cause  any  // the recovered value when failed
 }
 
 type mapJob struct {
@@ -343,8 +478,6 @@ func (m *mapStage) Run(in <-chan Pair, emit func(Pair), workers int) {
 
 	jobs := make(chan *mapJob, w)
 	order := make(chan *mapJob, 2*w) // sequencing window: bounds in-flight items
-	var panicOnce sync.Once
-	var panicked any
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
@@ -354,8 +487,7 @@ func (m *mapStage) Run(in <-chan Pair, emit func(Pair), workers int) {
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
-							panicOnce.Do(func() { panicked = r })
-							j.done <- mapResult{ok: false}
+							j.done <- mapResult{failed: true, cause: r}
 						}
 					}()
 					q, ok := m.fn(j.p, j.seed)
@@ -378,14 +510,37 @@ func (m *mapStage) Run(in <-chan Pair, emit func(Pair), workers int) {
 		close(jobs)
 		close(order)
 	}()
+	// Results are consumed in input order, and the stream fail-stops at
+	// the first item whose fn panicked: earlier items were all emitted,
+	// later ones are drained and discarded — so the emitted prefix is
+	// the same at any worker count. A panic raised by emit itself (the
+	// graph's cancellation sentinel) is captured the same way so the
+	// feeder and workers always drain before Run unwinds.
+	var panicked any
 	for j := range order {
-		if r := <-j.done; r.ok {
-			emit(r.p)
+		r := <-j.done
+		if panicked != nil {
+			continue // draining after a fault
 		}
+		if r.failed {
+			panicked = r.cause
+			continue
+		}
+		if !r.ok {
+			continue
+		}
+		func() {
+			defer func() {
+				if e := recover(); e != nil {
+					panicked = e
+				}
+			}()
+			emit(r.p)
+		}()
 	}
 	wg.Wait()
 	if panicked != nil {
-		panic(fmt.Sprintf("pipeline: %s worker panic: %v", m.name, panicked))
+		panic(panicked)
 	}
 }
 
@@ -435,10 +590,28 @@ func (c *chainStage) Run(in <-chan Pair, emit func(Pair), workers int) {
 		}(st, cur, next)
 		cur = next
 	}
-	c.subs[len(c.subs)-1].Run(cur, emit, workers)
+	// The last sub-stage runs inline, so its panic must be caught here:
+	// letting it unwind Run directly would strand the inner goroutines
+	// blocked on their full channels — the classic failing-stage leak.
+	// Catch it, drain the internal edge so they finish, wait, then
+	// re-raise the original value (never a formatted copy: the graph
+	// needs the value itself to build a StageError or recognize its
+	// cancellation sentinel).
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				panicOnce.Do(func() { panicked = r })
+			}
+		}()
+		c.subs[len(c.subs)-1].Run(cur, emit, workers)
+	}()
+	if cur != in {
+		for range cur {
+		}
+	}
 	wg.Wait()
 	if panicked != nil {
-		panic(fmt.Sprintf("pipeline: %s stage panic: %v", c.name, panicked))
+		panic(panicked)
 	}
 }
 
@@ -502,7 +675,9 @@ func (f *fanStage) Run(in <-chan Pair, emit func(Pair), workers int) {
 	}
 	wg.Wait()
 	if panicked != nil {
-		panic(fmt.Sprintf("pipeline: %s stage panic: %v", f.name, panicked))
+		// Re-raise the original value so the graph can type it (see
+		// chainStage.Run).
+		panic(panicked)
 	}
 	for _, buf := range buffered[1:] {
 		for _, p := range buf {

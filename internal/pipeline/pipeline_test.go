@@ -1,10 +1,13 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 // mk builds a deterministic test stream of n distinct pairs.
@@ -231,4 +234,151 @@ func TestStagePanicPropagates(t *testing.T) {
 	check("chained", func() {
 		collect(2, FromSlice("src", mk(10)), Chain("c", Tee("t", func(Pair) {}), Func("bad", func(p Pair, emit func(Pair)) { panic("boom") })))
 	})
+}
+
+// drainGoroutines waits for transient graph goroutines to exit, then
+// fails with a stack dump if the count never returns to the baseline.
+func drainGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+func TestRunReturnsStageErrorNotPanic(t *testing.T) {
+	in := mk(50)
+	var fired bool
+	g := New(4,
+		FromSlice("src", in),
+		Func("explode", func(p Pair, emit func(Pair)) {
+			if p.SQL == "SELECT 7" {
+				fired = true
+				panic("boom")
+			}
+			emit(p)
+		}),
+	)
+	got, err := g.CollectContext(context.Background())
+	if !fired {
+		t.Fatal("fault never fired")
+	}
+	var se *StageError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StageError", err)
+	}
+	if se.Stage != "explode" || se.Index != 7 {
+		t.Fatalf("StageError = %+v", se)
+	}
+	if se.Last == nil || se.Last.SQL != "SELECT 6" {
+		t.Fatalf("StageError.Last = %+v", se.Last)
+	}
+	if len(got) != 7 {
+		t.Fatalf("delivered %d pairs before the fault, want 7", len(got))
+	}
+}
+
+func TestRunCancelledReturnsPrefix(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	in := mk(5000)
+	ctx, cancel := context.WithCancel(context.Background())
+	var got []Pair
+	err := New(4, FromSlice("src", in), Map("id", func(p Pair) Pair { return p })).Run(ctx, func(p Pair) error {
+		got = append(got, p)
+		if len(got) == 25 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) < 25 || len(got) >= len(in) {
+		t.Fatalf("delivered %d pairs, want a partial prefix >= 25", len(got))
+	}
+	for i, p := range got {
+		if p != in[i] {
+			t.Fatalf("delivered pairs are not a prefix at %d", i)
+		}
+	}
+	drainGoroutines(t, baseline)
+}
+
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := New(2, FromSlice("src", mk(100))).CollectContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("pre-cancelled run delivered %d pairs", len(got))
+	}
+}
+
+func TestFailingStageLeaksNoGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	// The regression shape: a panic in the LAST sub-stage of a Chain
+	// used to unwind Run before the inner goroutines finished, leaving
+	// them blocked on their full internal channels forever. The fault
+	// sits behind a busy upstream (many more pairs than chanBuf) so a
+	// leak would be deterministic, and the whole thing runs inside a
+	// Graph so the sentinel/drain interplay is exercised too.
+	for _, workers := range []int{1, 8} {
+		g := New(workers,
+			FromSlice("src", mk(4000)),
+			Chain("c",
+				Map("id", func(p Pair) Pair { return p }),
+				Func("bad", func(p Pair, emit func(Pair)) {
+					if p.SQL == "SELECT 100" {
+						panic("boom")
+					}
+					emit(p)
+				}),
+			),
+			Map("down", func(p Pair) Pair { return p }),
+		)
+		_, err := g.CollectContext(context.Background())
+		var se *StageError
+		if !errors.As(err, &se) {
+			t.Fatalf("workers=%d: err = %v, want *StageError", workers, err)
+		}
+		if se.Stage != "c" {
+			t.Fatalf("workers=%d: failing stage = %q", workers, se.Stage)
+		}
+	}
+	drainGoroutines(t, baseline)
+}
+
+func TestStageErrorPrefixWorkerInvariant(t *testing.T) {
+	run := func(workers int) ([]Pair, *StageError) {
+		g := New(workers,
+			FromSlice("src", mk(300)),
+			Map("bad", func(p Pair) Pair {
+				if p.SQL == "SELECT 123" {
+					panic("boom")
+				}
+				return p
+			}),
+		)
+		got, err := g.CollectContext(context.Background())
+		var se *StageError
+		if !errors.As(err, &se) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		return got, se
+	}
+	got1, se1 := run(1)
+	got16, se16 := run(16)
+	if se1.Index != 123 || se16.Index != se1.Index {
+		t.Fatalf("fault index not worker-invariant: %d vs %d", se1.Index, se16.Index)
+	}
+	if !equalPairs(got1, got16) {
+		t.Fatalf("prefix not worker-invariant: %d vs %d pairs", len(got1), len(got16))
+	}
 }

@@ -7,13 +7,16 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/lemma"
 	"repro/internal/models"
+	"repro/internal/par"
 	"repro/internal/schema"
 	"repro/internal/sqlast"
 	"repro/internal/tokens"
@@ -291,6 +294,17 @@ type Translator struct {
 	// makes Translate consider up to that many ranked candidates and
 	// return the first that survives post-processing and executes.
 	ExecutionGuided int
+	// Deadline bounds each tier's model inference per question
+	// (0 = unbounded). A tier still running at expiry is abandoned —
+	// it costs at most one leaked goroutine, never a hung question —
+	// and the chain falls through to the next tier.
+	Deadline time.Duration
+	// Fallbacks is the graceful-degradation chain: translators tried
+	// in order after the primary Model fails a question (panic,
+	// deadline, no output, nothing parsable/executable). The usual
+	// chain is neural primary → sketch → models.NearestNeighbor. The
+	// tier that answered is recorded in Trace.Tier.
+	Fallbacks []models.Translator
 }
 
 // NewTranslator wires a trained model to a database.
@@ -312,6 +326,13 @@ type Trace struct {
 	Lemmatized []string  // after the Lemmatizer
 	ModelOut   []string  // raw Neural Translator output tokens
 	Final      *sqlast.Query
+	// Tier is the Name() of the translator that produced Final —
+	// the primary model on the happy path, a fallback tier when the
+	// degradation chain had to step in. Empty when no tier answered.
+	Tier string
+	// TierErrors records why each earlier tier failed, in chain order
+	// ("name: reason").
+	TierErrors []string
 }
 
 // String renders the trace as an indented lifecycle report.
@@ -324,6 +345,12 @@ func (t *Trace) String() string {
 	}
 	fmt.Fprintf(&b, "lemmatized: %s\n", strings.Join(t.Lemmatized, " "))
 	fmt.Fprintf(&b, "model out:  %s\n", strings.Join(t.ModelOut, " "))
+	for _, te := range t.TierErrors {
+		fmt.Fprintf(&b, "  tier err: %s\n", te)
+	}
+	if t.Tier != "" {
+		fmt.Fprintf(&b, "tier:       %s\n", t.Tier)
+	}
 	if t.Final != nil {
 		fmt.Fprintf(&b, "final SQL:  %s", t.Final)
 	}
@@ -336,63 +363,139 @@ func (tr *Translator) Translate(question string) (*sqlast.Query, error) {
 	return q, err
 }
 
+// TranslateContext is Translate with cooperative cancellation: the
+// tier chain stops (returning ctx's error) once the context is done.
+func (tr *Translator) TranslateContext(ctx context.Context, question string) (*sqlast.Query, error) {
+	q, _, err := tr.TranslateTraceContext(ctx, question)
+	return q, err
+}
+
 // TranslateTrace translates and returns the full lifecycle trace; the
 // trace is non-nil even on error, holding the stages that completed.
 func (tr *Translator) TranslateTrace(question string) (*sqlast.Query, *Trace, error) {
+	return tr.TranslateTraceContext(context.Background(), question)
+}
+
+// TranslateTraceContext runs the pre-processing stages once, then
+// walks the degradation chain (primary model, then each Fallback)
+// until a tier yields SQL that parses, post-processes, and — in
+// execution-guided mode — executes. A tier that panics, exceeds the
+// Deadline, or produces nothing usable is recorded in
+// Trace.TierErrors and the next tier is tried; it can never take the
+// process down. The returned error is the primary tier's failure
+// (the most informative one) when every tier fails.
+func (tr *Translator) TranslateTraceContext(ctx context.Context, question string) (*sqlast.Query, *Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	trace := &Trace{Question: question}
+	if strings.TrimSpace(question) == "" {
+		return nil, trace, fmt.Errorf("runtime: empty question")
+	}
 	anon := tr.PH.Anonymize(question)
 	trace.Anonymized = anon.Tokens
 	trace.Bindings = anon.Bindings
 	nl := lemma.LemmatizeAll(anon.Tokens)
 	trace.Lemmatized = nl
 
-	candidates := tr.candidates(nl)
+	var firstErr error
+	for _, model := range tr.chain() {
+		if err := ctx.Err(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return nil, trace, firstErr
+		}
+		q, err := tr.tryTier(model, nl, anon.Bindings, trace)
+		if err == nil {
+			trace.Tier = model.Name()
+			return q, trace, nil
+		}
+		trace.TierErrors = append(trace.TierErrors, model.Name()+": "+err.Error())
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, trace, firstErr
+}
+
+// chain returns the ordered translator tiers: the primary model, then
+// the fallbacks (nil entries skipped defensively).
+func (tr *Translator) chain() []models.Translator {
+	out := make([]models.Translator, 0, 1+len(tr.Fallbacks))
+	if tr.Model != nil {
+		out = append(out, tr.Model)
+	}
+	for _, f := range tr.Fallbacks {
+		if f != nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// tryTier runs one translator tier end to end. A panic anywhere in
+// the tier (a misbehaving plug-in model, a pathological candidate) is
+// recovered into an error, and model inference is bounded by
+// tr.Deadline — the pluggability contract only holds in production if
+// the runtime survives a misbehaving Translator.
+func (tr *Translator) tryTier(model models.Translator, nl []string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q, err = nil, fmt.Errorf("runtime: tier %q panicked: %v", model.Name(), r)
+		}
+	}()
+	var candidates [][]string
+	if derr := par.Deadline(tr.Deadline, func() { candidates = tr.tierCandidates(model, nl) }); derr != nil {
+		return nil, fmt.Errorf("runtime: tier %q exceeded the %s deadline: %w", model.Name(), tr.Deadline, derr)
+	}
 	if len(candidates) == 0 {
-		return nil, trace, fmt.Errorf("runtime: model produced no output for %q", question)
+		return nil, fmt.Errorf("runtime: model %q produced no output", model.Name())
+	}
+	if trace.ModelOut == nil {
+		trace.ModelOut = candidates[0]
 	}
 	var firstErr error
-	for i, sqlToks := range candidates {
-		if i == 0 {
-			trace.ModelOut = sqlToks
-		}
-		q, err := sqlast.ParseTokens(sqlToks)
-		if err != nil {
+	for _, sqlToks := range candidates {
+		pq, perr := sqlast.ParseTokens(sqlToks)
+		if perr != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("runtime: model output unparsable (%q): %w", strings.Join(sqlToks, " "), err)
+				firstErr = fmt.Errorf("runtime: model output unparsable (%q): %w", strings.Join(sqlToks, " "), perr)
 			}
 			continue
 		}
-		q, err = PostProcess(q, tr.DB.Schema, anon.Bindings)
-		if err != nil {
+		pq, perr = PostProcess(pq, tr.DB.Schema, bindings)
+		if perr != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = perr
 			}
 			continue
 		}
 		// In execution-guided mode a candidate must also execute.
 		if len(candidates) > 1 {
-			if _, err := tr.DB.Execute(q); err != nil {
+			if _, eerr := tr.DB.Execute(pq); eerr != nil {
 				if firstErr == nil {
-					firstErr = fmt.Errorf("runtime: candidate does not execute: %w", err)
+					firstErr = fmt.Errorf("runtime: candidate does not execute: %w", eerr)
 				}
 				continue
 			}
 		}
-		trace.Final = q
-		return q, trace, nil
+		trace.Final = pq
+		return pq, nil
 	}
-	return nil, trace, firstErr
+	return nil, firstErr
 }
 
-// candidates returns the ranked model outputs to try: one (plain mode)
-// or up to ExecutionGuided many when the model supports alternatives.
-func (tr *Translator) candidates(nl []string) [][]string {
+// tierCandidates returns the ranked outputs of one tier: one (plain
+// mode) or up to ExecutionGuided many when the tier supports
+// alternatives.
+func (tr *Translator) tierCandidates(model models.Translator, nl []string) [][]string {
 	if tr.ExecutionGuided > 1 {
-		if kt, ok := tr.Model.(KTranslator); ok {
+		if kt, ok := model.(KTranslator); ok {
 			return kt.TranslateK(nl, tr.schema, tr.ExecutionGuided)
 		}
 	}
-	out := tr.Model.Translate(nl, tr.schema)
+	out := model.Translate(nl, tr.schema)
 	if len(out) == 0 {
 		return nil
 	}
@@ -401,7 +504,12 @@ func (tr *Translator) candidates(nl []string) [][]string {
 
 // Ask translates and executes, returning the tabular result.
 func (tr *Translator) Ask(question string) (*engine.Result, *sqlast.Query, error) {
-	q, err := tr.Translate(question)
+	return tr.AskContext(context.Background(), question)
+}
+
+// AskContext is Ask with cooperative cancellation.
+func (tr *Translator) AskContext(ctx context.Context, question string) (*engine.Result, *sqlast.Query, error) {
+	q, err := tr.TranslateContext(ctx, question)
 	if err != nil {
 		return nil, nil, err
 	}
