@@ -1,0 +1,224 @@
+// Command dbpal-serve exposes a bootstrapped DBPal model over HTTP
+// behind the hardened serving layer (internal/serve): admission
+// control with bounded queueing, per-request deadlines, per-tier
+// circuit breakers, seeded retry backoff, and graceful drain.
+//
+//	dbpal-serve -schema patients -model nn -addr :8080
+//	curl 'localhost:8080/ask?q=show+the+names+of+all+patients+with+age+80'
+//
+// Endpoints: /ask (translate + execute), /translate (translate only),
+// /healthz, /readyz, /statsz. SIGINT/SIGTERM drain: /readyz flips to
+// 503, in-flight requests finish under -drain, then the process exits
+// 0.
+//
+// Use -model nn for the instant-start template nearest-neighbor
+// translator (no neural training), or sketch/seq2seq as in dbpal,
+// optionally with -load for weights saved by dbpal-train.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	dbpal "repro"
+	"repro/internal/engine"
+	"repro/internal/models"
+	"repro/internal/patients"
+	"repro/internal/serve"
+	"repro/internal/spider"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		schemaName = flag.String("schema", "patients", "schema: patients | flights | college | geo | ...")
+		modelKind  = flag.String("model", "sketch", "translator: sketch | seq2seq | nn")
+		loadPath   = flag.String("load", "", "load model weights saved by dbpal-train instead of training")
+		seed       = flag.Int64("seed", 1, "pipeline, training, and retry-jitter seed")
+		rows       = flag.Int("rows", 40, "synthetic rows per table for non-patients schemas")
+		execGuided = flag.Int("execguided", 1, "try up to N ranked candidates, keeping the first that executes")
+		deadline   = flag.Duration("deadline", 0, "per-question inference deadline per tier (0 = none)")
+		fallback   = flag.Bool("fallback", true, "degrade to a template nearest-neighbor tier when the primary model fails")
+
+		workers  = flag.Int("workers", 0, "max concurrent translations (0 = NumCPU)")
+		queue    = flag.Int("queue", 0, "waiting-room size before shedding (0 = 2x workers)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		drain    = flag.Duration("drain", 15*time.Second, "max wait for in-flight requests on shutdown")
+		retries  = flag.Int("retries", 1, "retry attempts after a transient translation failure")
+		breakers = flag.Bool("breakers", true, "run a circuit breaker per translator tier")
+		cooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before the half-open probe")
+	)
+	flag.Parse()
+
+	if err := run(config{
+		addr: *addr, schemaName: *schemaName, modelKind: *modelKind, loadPath: *loadPath,
+		seed: *seed, rows: *rows, execGuided: *execGuided, deadline: *deadline, fallback: *fallback,
+		workers: *workers, queue: *queue, timeout: *timeout, drain: *drain,
+		retries: *retries, breakers: *breakers, cooldown: *cooldown,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr, schemaName, modelKind, loadPath string
+	seed                                  int64
+	rows, execGuided                      int
+	deadline                              time.Duration
+	fallback                              bool
+	workers, queue                        int
+	timeout, drain                        time.Duration
+	retries                               int
+	breakers                              bool
+	cooldown                              time.Duration
+}
+
+func run(cfg config) error {
+	s, db, err := resolveSchema(cfg.schemaName, cfg.rows, cfg.seed)
+	if err != nil {
+		return err
+	}
+
+	// The synthesized corpus trains the primary model (unless loaded
+	// from disk) and the nearest-neighbor tier.
+	var exs []dbpal.Example
+	if cfg.loadPath == "" || cfg.fallback || cfg.modelKind == "nn" {
+		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), cfg.seed)
+		fmt.Printf("pipeline synthesized %d NL-SQL pairs\n", len(pairs))
+		exs = dbpal.TrainingExamples(pairs, s)
+	}
+
+	var model dbpal.Translator
+	switch {
+	case cfg.modelKind == "nn":
+		nn := models.NewNearestNeighbor()
+		nn.Train(exs)
+		model = nn
+	case cfg.loadPath != "":
+		model, err = loadModel(cfg.modelKind, cfg.loadPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s model from %s\n", cfg.modelKind, cfg.loadPath)
+	default:
+		fmt.Printf("bootstrapping DBPal for schema %q (%s model)...\n", s.Name, cfg.modelKind)
+		model = newModel(cfg.modelKind, cfg.seed)
+		model.Train(exs)
+	}
+
+	nli := dbpal.NewInterface(db, model)
+	nli.ExecutionGuided = cfg.execGuided
+	nli.Deadline = cfg.deadline
+	if cfg.fallback && cfg.modelKind != "nn" {
+		nn := models.NewNearestNeighbor()
+		nn.Train(exs)
+		nli.Fallbacks = []dbpal.Translator{nn}
+	}
+
+	srv := serve.New(nli, serve.Config{
+		Workers: cfg.workers,
+		Queue:   cfg.queue,
+		Timeout: cfg.timeout,
+		Retry: serve.RetryPolicy{
+			MaxAttempts: cfg.retries + 1,
+			Seed:        cfg.seed,
+		},
+		Breaker:         serve.BreakerConfig{Cooldown: cfg.cooldown},
+		DisableBreakers: !cfg.breakers,
+	})
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	errc := srv.Start(ln)
+	fmt.Printf("serving schema %q on http://%s (/ask /translate /healthz /readyz /statsz)\n",
+		s.Name, ln.Addr())
+
+	// SIGINT/SIGTERM start the drain; a second deadline bounds it.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	select {
+	case err := <-errc:
+		// The listener died underneath us.
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Printf("signal received; draining (up to %s)...\n", cfg.drain)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Println("drained; bye")
+	return nil
+}
+
+func resolveSchema(name string, rows int, seed int64) (*dbpal.Schema, *dbpal.Database, error) {
+	if name == "patients" {
+		db, err := patients.Database()
+		if err != nil {
+			return nil, nil, err
+		}
+		return patients.Schema(), db, nil
+	}
+	s := spider.SchemaByName(name)
+	if s == nil {
+		var names []string
+		for _, z := range spider.AllSchemas() {
+			names = append(names, z.Name)
+		}
+		return nil, nil, fmt.Errorf("unknown schema %q; available: patients, %s", name, strings.Join(names, ", "))
+	}
+	db, err := engine.GenerateData(s, rows, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, db, nil
+}
+
+func newModel(kind string, seed int64) dbpal.Translator {
+	switch kind {
+	case "seq2seq":
+		cfg := dbpal.DefaultSeq2SeqConfig()
+		cfg.Seed = seed
+		return dbpal.NewSeq2Seq(cfg)
+	default:
+		cfg := dbpal.DefaultSketchConfig()
+		cfg.Seed = seed
+		return dbpal.NewSketch(cfg)
+	}
+}
+
+func loadModel(kind, path string) (dbpal.Translator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	var m dbpal.Translator
+	if kind == "seq2seq" {
+		m, err = models.LoadSeq2Seq(f)
+	} else {
+		m, err = models.LoadSketch(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -2,7 +2,10 @@
 // and methods accepting a context.Context must take it first.
 package fixture
 
-import "context"
+import (
+	"context"
+	"net/http"
+)
 
 // Good takes the context first.
 func Good(ctx context.Context, n int) error {
@@ -47,4 +50,33 @@ func unexportedBad(n int, ctx context.Context) error {
 func Allowed(n int, ctx context.Context) error { //lint:allow ctxfirst legacy signature kept for compatibility
 	_ = n
 	return ctx.Err()
+}
+
+// ServeAsk is handler-shaped: the context travels inside *http.Request
+// (r.Context()), so there is no explicit parameter to misplace.
+func ServeAsk(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	w.WriteHeader(http.StatusOK)
+}
+
+// HandleWith is a handler helper that does take an explicit context —
+// first, as required, ahead of the writer/request pair.
+func HandleWith(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	_, _ = w, r
+	return ctx.Err()
+}
+
+// HandleBuried tucks the explicit context behind the writer/request
+// pair; handler helpers get no exemption.
+func HandleBuried(w http.ResponseWriter, r *http.Request, ctx context.Context) error { // want `context must come first`
+	_, _ = w, r
+	return ctx.Err()
+}
+
+// Middleware returns a handler; the outer signature has no context
+// parameter and the closure is not exported API.
+func Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		next.ServeHTTP(w, r)
+	})
 }

@@ -139,7 +139,10 @@ func TestEvalPatientsParameterRoundtrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		anon := ph.Anonymize(cs.NL)
+		anon, err := ph.Anonymize(cs.NL)
+		if err != nil {
+			t.Fatal(err)
+		}
 		anonGold := anonymizeGold(gold)
 		restored, err := runtime.PostProcess(anonGold, db.Schema, anon.Bindings)
 		if err != nil {
@@ -236,7 +239,11 @@ func TestEvalPatientsWithOracle(t *testing.T) {
 
 func anonNLFor(db *engine.Database, nl string) []string {
 	ph := runtime.NewParameterHandler(db)
-	return ph.Anonymize(nl).Tokens
+	anon, err := ph.Anonymize(nl)
+	if err != nil {
+		panic(err)
+	}
+	return anon.Tokens
 }
 
 func TestCoverageBucketStrings(t *testing.T) {

@@ -1,0 +1,95 @@
+package fault
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------------
+// http.Handler wrapper.
+// ---------------------------------------------------------------------
+
+// Handler wraps an http.Handler so the configured fault fires on the
+// request indices the injector selects (kinds: Panic, Error — a 500
+// response — and Delay). The request counter is atomic: the server
+// serves concurrently. Like every wrapper in this package, firing
+// depends only on (seed, index), so the serve chaos suite can place a
+// fault on an exact request in a concurrent stream.
+type Handler struct {
+	inner http.Handler
+	inj   *Injector
+	kind  Kind
+	delay time.Duration
+	calls atomic.Int64
+}
+
+// NewHandler wraps inner.
+func NewHandler(inner http.Handler, inj *Injector, kind Kind, delay time.Duration) *Handler {
+	return &Handler{inner: inner, inj: inj, kind: kind, delay: delay}
+}
+
+// Calls returns how many requests the wrapper has seen.
+func (h *Handler) Calls() int64 { return h.calls.Load() }
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	i := int(h.calls.Add(1)) - 1
+	if h.inj.Fires(i) {
+		switch h.kind {
+		case Panic:
+			panic(fmt.Sprintf("fault: injected panic at request %d", i))
+		case Delay:
+			time.Sleep(h.delay)
+		default:
+			http.Error(w, fmt.Sprintf("fault: injected error at request %d", i), http.StatusInternalServerError)
+			return
+		}
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// ---------------------------------------------------------------------
+// http.RoundTripper wrapper.
+// ---------------------------------------------------------------------
+
+// RoundTripper wraps an http.RoundTripper so the configured fault
+// fires on the round-trip indices the injector selects (kinds: Error —
+// a transport error, the shape retry layers must absorb — Delay, and
+// Panic). A nil inner transport uses http.DefaultTransport.
+type RoundTripper struct {
+	inner http.RoundTripper
+	inj   *Injector
+	kind  Kind
+	delay time.Duration
+	calls atomic.Int64
+}
+
+// NewRoundTripper wraps inner.
+func NewRoundTripper(inner http.RoundTripper, inj *Injector, kind Kind, delay time.Duration) *RoundTripper {
+	return &RoundTripper{inner: inner, inj: inj, kind: kind, delay: delay}
+}
+
+// Calls returns how many round trips the wrapper has seen.
+func (rt *RoundTripper) Calls() int64 { return rt.calls.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (rt *RoundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := int(rt.calls.Add(1)) - 1
+	if rt.inj.Fires(i) {
+		switch rt.kind {
+		case Panic:
+			panic(fmt.Sprintf("fault: injected panic at round trip %d", i))
+		case Delay:
+			time.Sleep(rt.delay)
+		default:
+			return nil, fmt.Errorf("fault: injected transport error at round trip %d", i)
+		}
+	}
+	inner := rt.inner
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return inner.RoundTrip(req)
+}

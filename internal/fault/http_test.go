@@ -1,0 +1,122 @@
+package fault_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// okHandler answers every request with its body "ok".
+var okHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, "ok")
+})
+
+// TestFaultHandlerInjectsAtExactIndices: the wrapped handler fails
+// exactly on the injector-selected request indices — deterministic at
+// any request interleaving, because the decision hashes (seed, index).
+func TestFaultHandlerInjectsAtExactIndices(t *testing.T) {
+	const n = 40
+	inj := fault.NewInjector(11, 5)
+	h := fault.NewHandler(okHandler, inj, fault.Error, 0)
+	for i := 0; i < n; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		wantFail := inj.Fires(i)
+		if gotFail := rec.Code == http.StatusInternalServerError; gotFail != wantFail {
+			t.Fatalf("request %d: status %d, fires=%v", i, rec.Code, wantFail)
+		}
+		if !wantFail && rec.Body.String() != "ok" {
+			t.Fatalf("request %d: body %q", i, rec.Body.String())
+		}
+	}
+	if h.Calls() != n {
+		t.Fatalf("Calls = %d, want %d", h.Calls(), n)
+	}
+}
+
+// TestFaultHandlerPanicKind: the Panic kind panics out of ServeHTTP
+// (net/http's per-connection recover is what a real server would hit).
+func TestFaultHandlerPanicKind(t *testing.T) {
+	h := fault.NewHandler(okHandler, fault.NewInjector(1, 1), fault.Panic, 0)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "injected panic") {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+// TestFaultHandlerDelayKind: Delay holds the request, then serves it
+// normally — the slow-but-healthy dependency shape.
+func TestFaultHandlerDelayKind(t *testing.T) {
+	h := fault.NewHandler(okHandler, fault.NewInjector(1, 1), fault.Delay, 30*time.Millisecond)
+	start := time.Now() //lint:allow determinism timing a test-local delay
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("delay fault did not delay")
+	}
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("delayed request not served: %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestFaultRoundTripperInjectsTransportErrors: the client-side wrapper
+// turns selected round trips into transport errors while letting the
+// others through to the real server.
+func TestFaultRoundTripperInjectsTransportErrors(t *testing.T) {
+	srv := httptest.NewServer(okHandler)
+	defer srv.Close()
+
+	const n = 30
+	inj := fault.NewInjector(3, 4)
+	rt := fault.NewRoundTripper(nil, inj, fault.Error, 0)
+	client := &http.Client{Transport: rt}
+	defer client.CloseIdleConnections()
+
+	for i := 0; i < n; i++ {
+		resp, err := client.Get(srv.URL)
+		if inj.Fires(i) {
+			if err == nil || !strings.Contains(err.Error(), "injected transport error") {
+				t.Fatalf("round trip %d: err = %v, want injected transport error", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		if cerr := resp.Body.Close(); rerr != nil || cerr != nil || string(body) != "ok" {
+			t.Fatalf("round trip %d: body %q (%v, %v)", i, body, rerr, cerr)
+		}
+	}
+	if rt.Calls() != n {
+		t.Fatalf("Calls = %d, want %d", rt.Calls(), n)
+	}
+}
+
+// TestFaultRoundTripperNilInnerUsesDefault: a nil inner transport is
+// the default transport, so the wrapper drops into clients verbatim.
+func TestFaultRoundTripperNilInnerUsesDefault(t *testing.T) {
+	srv := httptest.NewServer(okHandler)
+	defer srv.Close()
+	rt := fault.NewRoundTripper(nil, fault.NewInjector(1, 0), fault.Error, 0) // disarmed
+	client := &http.Client{Transport: rt}
+	defer client.CloseIdleConnections()
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cerr := resp.Body.Close(); cerr != nil {
+		t.Fatal(cerr)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/engine"
 	"repro/internal/lemma"
@@ -21,6 +23,24 @@ import (
 	"repro/internal/sqlast"
 	"repro/internal/tokens"
 )
+
+// ValidationError is the typed rejection for malformed questions:
+// empty input, invalid UTF-8, embedded control bytes, or a question
+// past the token cap. It is the one failure class the serving layer
+// must never retry — resubmitting the same malformed input cannot
+// succeed — so callers distinguish it with errors.As.
+type ValidationError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string { return "runtime: invalid question: " + e.Reason }
+
+// DefaultMaxQuestionTokens caps question length when
+// ParameterHandler.MaxTokens is zero. Anonymization is quadratic-ish
+// in span scanning, so an unbounded question is a denial-of-service
+// vector; 2048 tokens is far beyond any real NL question.
+const DefaultMaxQuestionTokens = 2048
 
 // Binding records one anonymized constant: the placeholder name it was
 // mapped to and the database-side value substituted at post-processing.
@@ -51,6 +71,9 @@ type ParameterHandler struct {
 	// MinSimilarity is the Jaccard threshold below which a string span
 	// is not considered a database constant.
 	MinSimilarity float64
+	// MaxTokens rejects questions longer than this many tokens with a
+	// ValidationError (0 = DefaultMaxQuestionTokens).
+	MaxTokens int
 }
 
 type indexedValue struct {
@@ -117,8 +140,18 @@ func NewParameterHandler(db *engine.Database) *ParameterHandler {
 // indexed value become @TABLE.COL bound to the most similar database
 // value (the paper's "replace constants with their most similar value
 // used in the database"). Unmatched numbers stay literal.
-func (ph *ParameterHandler) Anonymize(question string) *Anonymized {
+//
+// Malformed input — empty, not valid UTF-8, embedded control bytes,
+// or longer than MaxTokens — is rejected with a *ValidationError; no
+// input, however adversarial, may panic.
+func (ph *ParameterHandler) Anonymize(question string) (*Anonymized, error) {
+	if err := ph.validate(question); err != nil {
+		return nil, err
+	}
 	toks := tokens.Tokenize(question)
+	if max := ph.maxTokens(); len(toks) > max {
+		return nil, &ValidationError{Reason: fmt.Sprintf("question has %d tokens; the limit is %d", len(toks), max)}
+	}
 	out := &Anonymized{}
 	i := 0
 	for i < len(toks) {
@@ -172,7 +205,34 @@ func (ph *ParameterHandler) Anonymize(question string) *Anonymized {
 			i++
 		}
 	}
-	return out
+	return out, nil
+}
+
+// maxTokens resolves the question-length cap.
+func (ph *ParameterHandler) maxTokens() int {
+	if ph.MaxTokens > 0 {
+		return ph.MaxTokens
+	}
+	return DefaultMaxQuestionTokens
+}
+
+// validate rejects raw question strings no tokenization should see:
+// emptiness, byte sequences that are not UTF-8, and control bytes
+// (NUL and friends) that only appear in injection attempts — never in
+// typed questions. Tabs and newlines count as ordinary whitespace.
+func (ph *ParameterHandler) validate(question string) error {
+	if !utf8.ValidString(question) {
+		return &ValidationError{Reason: "question is not valid UTF-8"}
+	}
+	if strings.TrimSpace(question) == "" {
+		return &ValidationError{Reason: "empty question"}
+	}
+	for _, r := range question {
+		if unicode.IsControl(r) && r != '\t' && r != '\n' && r != '\r' {
+			return &ValidationError{Reason: fmt.Sprintf("question contains control character %q", r)}
+		}
+	}
+	return nil
 }
 
 // isTopKWord reports whether a token introduces a result-count number.
@@ -305,6 +365,25 @@ type Translator struct {
 	// chain is neural primary → sketch → models.NearestNeighbor. The
 	// tier that answered is recorded in Trace.Tier.
 	Fallbacks []models.Translator
+	// Hook, when non-nil, observes and gates the degradation chain —
+	// the serving layer's circuit breakers plug in here. Allow is
+	// consulted before a tier runs (a non-nil error skips the tier
+	// without paying its Deadline); Record is told the outcome of
+	// every tier that did run.
+	Hook TierHook
+}
+
+// TierHook gates and observes the degradation chain per tier. Both
+// methods may be called from concurrent questions and must be safe
+// for concurrent use.
+type TierHook interface {
+	// Allow is consulted before the named tier runs; returning a
+	// non-nil error skips the tier, recording the reason in
+	// Trace.TierErrors.
+	Allow(tier string) error
+	// Record reports the outcome of a tier that ran (err == nil means
+	// the tier answered).
+	Record(tier string, err error)
 }
 
 // NewTranslator wires a trained model to a database.
@@ -389,10 +468,10 @@ func (tr *Translator) TranslateTraceContext(ctx context.Context, question string
 		ctx = context.Background()
 	}
 	trace := &Trace{Question: question}
-	if strings.TrimSpace(question) == "" {
-		return nil, trace, fmt.Errorf("runtime: empty question")
+	anon, err := tr.PH.Anonymize(question)
+	if err != nil {
+		return nil, trace, err
 	}
-	anon := tr.PH.Anonymize(question)
 	trace.Anonymized = anon.Tokens
 	trace.Bindings = anon.Bindings
 	nl := lemma.LemmatizeAll(anon.Tokens)
@@ -406,15 +485,31 @@ func (tr *Translator) TranslateTraceContext(ctx context.Context, question string
 			}
 			return nil, trace, firstErr
 		}
-		q, err := tr.tryTier(model, nl, anon.Bindings, trace)
+		name := model.Name()
+		if tr.Hook != nil {
+			if herr := tr.Hook.Allow(name); herr != nil {
+				trace.TierErrors = append(trace.TierErrors, name+": skipped: "+herr.Error())
+				if firstErr == nil {
+					firstErr = fmt.Errorf("runtime: tier %q skipped: %w", name, herr)
+				}
+				continue
+			}
+		}
+		q, err := tr.tryTier(ctx, model, nl, anon.Bindings, trace)
+		if tr.Hook != nil {
+			tr.Hook.Record(name, err)
+		}
 		if err == nil {
-			trace.Tier = model.Name()
+			trace.Tier = name
 			return q, trace, nil
 		}
-		trace.TierErrors = append(trace.TierErrors, model.Name()+": "+err.Error())
+		trace.TierErrors = append(trace.TierErrors, name+": "+err.Error())
 		if firstErr == nil {
 			firstErr = err
 		}
+	}
+	if firstErr == nil {
+		firstErr = fmt.Errorf("runtime: no translator tiers configured")
 	}
 	return nil, trace, firstErr
 }
@@ -436,18 +531,29 @@ func (tr *Translator) chain() []models.Translator {
 
 // tryTier runs one translator tier end to end. A panic anywhere in
 // the tier (a misbehaving plug-in model, a pathological candidate) is
-// recovered into an error, and model inference is bounded by
-// tr.Deadline — the pluggability contract only holds in production if
-// the runtime survives a misbehaving Translator.
-func (tr *Translator) tryTier(model models.Translator, nl []string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
+// recovered into an error, and model inference is bounded by both
+// tr.Deadline and ctx's own deadline — the pluggability contract only
+// holds in production if the runtime survives a misbehaving
+// Translator, and a serving layer must be able to bound a whole
+// request with one context.
+func (tr *Translator) tryTier(ctx context.Context, model models.Translator, nl []string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			q, err = nil, fmt.Errorf("runtime: tier %q panicked: %v", model.Name(), r)
 		}
 	}()
 	var candidates [][]string
-	if derr := par.Deadline(tr.Deadline, func() { candidates = tr.tierCandidates(model, nl) }); derr != nil {
-		return nil, fmt.Errorf("runtime: tier %q exceeded the %s deadline: %w", model.Name(), tr.Deadline, derr)
+	tctx := ctx
+	if tr.Deadline > 0 {
+		var cancel context.CancelFunc
+		tctx, cancel = context.WithTimeout(ctx, tr.Deadline)
+		defer cancel()
+	}
+	if tctx.Done() == nil {
+		// No deadline from either side: run inline, zero overhead.
+		candidates = tr.tierCandidates(model, nl)
+	} else if derr := par.Await(tctx, func() { candidates = tr.tierCandidates(model, nl) }); derr != nil {
+		return nil, fmt.Errorf("runtime: tier %q exceeded its deadline: %w", model.Name(), derr)
 	}
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("runtime: model %q produced no output", model.Name())

@@ -20,9 +20,19 @@ func benchDB(t *testing.T) *engine.Database {
 	return db
 }
 
+// mustAnon anonymizes a question the test knows to be well-formed.
+func mustAnon(t *testing.T, ph *ParameterHandler, question string) *Anonymized {
+	t.Helper()
+	anon, err := ph.Anonymize(question)
+	if err != nil {
+		t.Fatalf("Anonymize(%q) = %v", question, err)
+	}
+	return anon
+}
+
 func TestAnonymizeNumber(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("show the names of all patients with age 80")
+	anon := mustAnon(t, ph, "show the names of all patients with age 80")
 	joined := strings.Join(anon.Tokens, " ")
 	if !strings.Contains(joined, "@PATIENTS.AGE") {
 		t.Fatalf("age constant not anonymized: %q", joined)
@@ -37,7 +47,7 @@ func TestAnonymizeNumber(t *testing.T) {
 
 func TestAnonymizeUnknownNumberStaysLiteral(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("show the top 3 patients")
+	anon := mustAnon(t, ph, "show the top 3 patients")
 	joined := strings.Join(anon.Tokens, " ")
 	if !strings.Contains(joined, "3") {
 		t.Fatalf("literal 3 should survive: %q", joined)
@@ -49,7 +59,7 @@ func TestAnonymizeUnknownNumberStaysLiteral(t *testing.T) {
 
 func TestAnonymizeString(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("how many patients have diagnosis influenza")
+	anon := mustAnon(t, ph, "how many patients have diagnosis influenza")
 	joined := strings.Join(anon.Tokens, " ")
 	if !strings.Contains(joined, "@PATIENTS.DIAGNOSIS") {
 		t.Fatalf("diagnosis constant not anonymized: %q", joined)
@@ -63,7 +73,7 @@ func TestAnonymizeFuzzyString(t *testing.T) {
 	// The paper's "New York City" vs "NYC" case: a misspelled constant
 	// maps to the most similar database value.
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("how many patients have diagnosis influenzas")
+	anon := mustAnon(t, ph, "how many patients have diagnosis influenzas")
 	if len(anon.Bindings) != 1 || anon.Bindings[0].Value.Str != "influenza" {
 		t.Fatalf("fuzzy match failed: %+v", anon.Bindings)
 	}
@@ -71,7 +81,7 @@ func TestAnonymizeFuzzyString(t *testing.T) {
 
 func TestAnonymizeMultiTokenValue(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("show the age of the patient whose name is alice johnson")
+	anon := mustAnon(t, ph, "show the age of the patient whose name is alice johnson")
 	joined := strings.Join(anon.Tokens, " ")
 	if !strings.Contains(joined, "@PATIENTS.NAME") {
 		t.Fatalf("two-token name not anonymized: %q", joined)
@@ -83,7 +93,7 @@ func TestAnonymizeMultiTokenValue(t *testing.T) {
 
 func TestAnonymizeSkipsSchemaWords(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("show the age and gender of all patients")
+	anon := mustAnon(t, ph, "show the age and gender of all patients")
 	for _, b := range anon.Bindings {
 		t.Fatalf("schema words must not bind constants: %+v", b)
 	}
@@ -91,7 +101,7 @@ func TestAnonymizeSkipsSchemaWords(t *testing.T) {
 
 func TestAnonymizePreAnonymizedPassThrough(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
-	anon := ph.Anonymize("show patients with age @PATIENTS.AGE")
+	anon := mustAnon(t, ph, "show patients with age @PATIENTS.AGE")
 	joined := strings.Join(anon.Tokens, " ")
 	if strings.Count(joined, "@PATIENTS.AGE") != 1 {
 		t.Fatalf("placeholder pass-through broken: %q", joined)
@@ -327,12 +337,12 @@ func TestJaccardEdgeCases(t *testing.T) {
 func TestAnonymizeTopKWords(t *testing.T) {
 	ph := NewParameterHandler(benchDB(t))
 	// "3" exists in length_of_stay, but after "top" it stays literal.
-	anon := ph.Anonymize("show the top 3 patients by age")
+	anon := mustAnon(t, ph, "show the top 3 patients by age")
 	if len(anon.Bindings) != 0 {
 		t.Fatalf("top-k number bound as constant: %+v", anon.Bindings)
 	}
 	// Without the top-k cue it binds.
-	anon2 := ph.Anonymize("show patients with length of stay 3")
+	anon2 := mustAnon(t, ph, "show patients with length of stay 3")
 	if len(anon2.Bindings) != 1 {
 		t.Fatalf("plain constant not bound: %+v", anon2.Bindings)
 	}

@@ -1,0 +1,343 @@
+package serve
+
+// Chaos tests for the serving layer: the three deterministic
+// demonstrations the robustness contract requires.
+//
+//	(a) overload sheds with 429 + Retry-After while admitted requests
+//	    complete;
+//	(b) a failing primary tier trips its breaker and later requests are
+//	    answered by the fallback tier without the primary running (and
+//	    so without paying its deadline);
+//	(c) drain + shutdown finishes in-flight requests and leaks zero
+//	    goroutines.
+//
+// Determinism comes from gates (channels), call counters, and fake
+// clocks — never from sleeping and hoping.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	goruntime "runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/models"
+	"repro/internal/runtime"
+)
+
+// decodeBody reads, closes, and unmarshals an http.Response body.
+func decodeBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(body, out)
+}
+
+// waitForGoroutines retries until the goroutine count drops to the
+// baseline, failing with a full stack dump if it never does — the
+// stdlib-only goleak check (same pattern as internal/fault).
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if goruntime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := goruntime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > baseline %d\n%s", goruntime.NumGoroutine(), baseline, buf[:n])
+}
+
+// waitForSnapshot polls the stats snapshot until cond holds.
+func waitForSnapshot(t *testing.T, s *Server, what string, cond func(Stats) bool) {
+	t.Helper()
+	for i := 0; i < 250; i++ {
+		if cond(s.Snapshot()) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("server never reached state %q; stats: %+v", what, s.Snapshot())
+}
+
+// TestOverloadShedsWhileInFlightCompletes: with 2 workers and a
+// 1-slot waiting room, requests 1-3 occupy every slot; request 4 is
+// shed with 429 + Retry-After while the first three, once the model
+// gate opens, all complete with 200.
+func TestOverloadShedsWhileInFlightCompletes(t *testing.T) {
+	block := newBlockModel()
+	s, ts := newTestServer(t, block, Config{Workers: 2, Queue: 1, DisableBreakers: true})
+
+	type result struct {
+		status int
+		rows   int
+	}
+	results := make(chan result, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			var resp askResponse
+			status := getJSON(t, ts.URL+"/ask?q="+urlQuery(goodQuestion), &resp)
+			results <- result{status, len(resp.Rows)}
+		}()
+	}
+
+	// Deterministic overload: wait until both slots are taken and the
+	// waiting room holds the third request.
+	waitForSnapshot(t, s, "2 in flight + 1 queued", func(st Stats) bool {
+		return st.InFlight == 2 && st.QueueDepth == 1
+	})
+
+	// The fourth request finds no slot and a full waiting room: shed.
+	resp, err := http.Get(ts.URL + "/ask?q=" + urlQuery(goodQuestion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	if derr := decodeBody(resp, &env); derr != nil {
+		t.Fatal(derr)
+	}
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if env.Error.Kind != KindShed {
+		t.Fatalf("kind = %q, want shed", env.Error.Kind)
+	}
+
+	// Open the gate: every admitted request must still complete.
+	block.release()
+	for i := 0; i < 3; i++ {
+		r := <-results
+		if r.status != http.StatusOK || r.rows != 3 {
+			t.Fatalf("admitted request %d finished %d with %d rows, want 200 with 3", i, r.status, r.rows)
+		}
+	}
+	st := s.Snapshot()
+	if st.Shed != 1 || st.Completed != 3 || st.InFlight != 0 || st.QueueDepth != 0 {
+		t.Fatalf("final stats %+v, want shed=1 completed=3 and empty occupancy", st)
+	}
+}
+
+// TestBreakerTripsAndFallbackKeepsAnswering: a fast-failing primary
+// feeds its breaker until it opens; from then on the chain skips the
+// primary entirely — its call counter freezes — while every request
+// keeps getting answered by the fallback tier.
+func TestBreakerTripsAndFallbackKeepsAnswering(t *testing.T) {
+	fail := &failModel{}
+	clk := newFakeClock()
+	tr := runtime.NewTranslator(testDB(t), fail)
+	tr.Fallbacks = []models.Translator{oracleModel{}}
+	s := New(tr, Config{Workers: 2, Breaker: BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Hour, Now: clk.Now,
+	}})
+
+	ask := func() askResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "/ask?q="+urlQuery(goodQuestion), nil)
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status = %d body %s", rec.Code, rec.Body.String())
+		}
+		var resp askResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Two failures reach MinSamples at 100% failure rate: trip.
+	for i := 0; i < 2; i++ {
+		if resp := ask(); resp.Tier != "oracle" {
+			t.Fatalf("request %d answered by %q, want the oracle fallback", i, resp.Tier)
+		}
+	}
+	if calls := fail.calls.Load(); calls != 2 {
+		t.Fatalf("primary calls = %d, want 2 before the trip", calls)
+	}
+	if st := s.Snapshot().Breakers["fail"]; st != "open" {
+		t.Fatalf("primary breaker = %q, want open", st)
+	}
+
+	// Post-trip: the primary is skipped, not re-run.
+	for i := 0; i < 5; i++ {
+		resp := ask()
+		if resp.Tier != "oracle" {
+			t.Fatalf("post-trip request answered by %q", resp.Tier)
+		}
+		if !containsSkip(resp.TierErrors) {
+			t.Fatalf("post-trip trace lacks the skip note: %v", resp.TierErrors)
+		}
+	}
+	if calls := fail.calls.Load(); calls != 2 {
+		t.Fatalf("primary calls grew to %d after the trip", calls)
+	}
+	if st := s.Snapshot(); st.Tiers["oracle"] != 7 || st.Completed != 7 {
+		t.Fatalf("stats %+v, want all 7 answered by oracle", st)
+	}
+
+	// After the cooldown the breaker half-opens and the probe request
+	// reaches the primary again.
+	clk.Advance(2 * time.Hour)
+	_ = ask()
+	if calls := fail.calls.Load(); calls != 3 {
+		t.Fatalf("primary calls = %d after cooldown, want the half-open probe", calls)
+	}
+	if st := s.Snapshot().Breakers["fail"]; st != "open" {
+		t.Fatalf("breaker after failed probe = %q, want open again", st)
+	}
+}
+
+// TestOpenBreakerSkipsSlowTierWithoutPayingDeadline: the primary tier
+// hangs and the translator's per-tier deadline is far beyond the test
+// timeout. With the primary's breaker pre-tripped, a request must be
+// answered by the fallback without the primary ever running — the
+// open circuit saves the whole deadline, not just part of it.
+func TestOpenBreakerSkipsSlowTierWithoutPayingDeadline(t *testing.T) {
+	block := newBlockModel()
+	t.Cleanup(block.release)
+	clk := newFakeClock()
+	tr := runtime.NewTranslator(testDB(t), block)
+	tr.Fallbacks = []models.Translator{oracleModel{}}
+	tr.Deadline = time.Hour // hanging tier would eat this without the breaker
+	s := New(tr, Config{Workers: 1, Breaker: BreakerConfig{
+		Window: 4, MinSamples: 2, FailureRate: 0.5, Cooldown: time.Hour, Now: clk.Now,
+	}})
+
+	// Trip the primary's breaker directly (deterministic setup: no
+	// request ever has to wait out the hanging tier).
+	s.breakers.Record("block", errTier)
+	s.breakers.Record("block", errTier)
+	if st := s.breakers.States()["block"]; st != "open" {
+		t.Fatalf("setup: breaker = %q, want open", st)
+	}
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/ask?q="+urlQuery(goodQuestion), nil)
+	s.Handler().ServeHTTP(rec, req) // would block ~1h if the tier ran
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d body %s", rec.Code, rec.Body.String())
+	}
+	var resp askResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tier != "oracle" {
+		t.Fatalf("tier = %q, want the fallback", resp.Tier)
+	}
+	if block.calls.Load() != 0 {
+		t.Fatal("hanging primary was invoked despite the open breaker")
+	}
+	if !containsSkip(resp.TierErrors) {
+		t.Fatalf("trace lacks the skip note: %v", resp.TierErrors)
+	}
+}
+
+// TestDrainFinishesInFlightAndLeaksNothing: with a request parked
+// mid-translation, Drain flips /readyz to 503 and rejects new work;
+// Shutdown then completes once the in-flight request finishes with
+// 200, the Serve loop exits with ErrServerClosed, and the goroutine
+// count returns to its pre-server baseline.
+func TestDrainFinishesInFlightAndLeaksNothing(t *testing.T) {
+	baseline := goruntime.NumGoroutine()
+
+	block := newBlockModel()
+	tr := runtime.NewTranslator(testDB(t), block)
+	s := New(tr, Config{Workers: 2, DisableBreakers: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := s.Start(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{}}
+
+	// Park one request inside the translator.
+	inFlight := make(chan result1, 1)
+	go func() {
+		resp, err := client.Get(base + "/ask?q=" + urlQuery(goodQuestion))
+		if err != nil {
+			inFlight <- result1{err: err}
+			return
+		}
+		var body askResponse
+		derr := decodeBody(resp, &body)
+		inFlight <- result1{status: resp.StatusCode, rows: len(body.Rows), err: derr}
+	}()
+	waitForSnapshot(t, s, "1 in flight", func(st Stats) bool { return st.InFlight == 1 })
+
+	// Drain: readiness flips, new work is refused, liveness stays up.
+	s.Drain()
+	if resp, err := client.Get(base + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := client.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after drain: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, err := client.Get(base + "/ask?q=" + urlQuery(goodQuestion))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	if derr := decodeBody(resp, &env); derr != nil {
+		t.Fatal(derr)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error.Kind != KindDraining {
+		t.Fatalf("new work during drain: %d %q, want 503 draining", resp.StatusCode, env.Error.Kind)
+	}
+
+	// Release the parked request and shut down; both must finish clean.
+	block.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-inFlight
+	if r.err != nil || r.status != http.StatusOK || r.rows != 3 {
+		t.Fatalf("in-flight request after drain: %+v, want 200 with 3 rows", r)
+	}
+	if serr := <-serveErr; serr != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", serr)
+	}
+
+	client.CloseIdleConnections()
+	waitForGoroutines(t, baseline)
+
+	st := s.Snapshot()
+	if !st.Draining || st.Completed != 1 || st.InFlight != 0 {
+		t.Fatalf("final stats %+v, want draining with the one completion", st)
+	}
+}
+
+// result1 carries one drained request's outcome.
+type result1 struct {
+	status int
+	rows   int
+	err    error
+}
+
+// containsSkip reports whether a trace's tier errors include a
+// breaker skip note.
+func containsSkip(tierErrors []string) bool {
+	for _, e := range tierErrors {
+		if strings.Contains(e, "skipped") && strings.Contains(e, "circuit open") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/runtime"
+)
+
+// ErrorKind is the serving layer's error taxonomy. Every failed
+// request maps to exactly one kind, carried in the JSON error body,
+// so callers can tell a request they must fix (validation) from one
+// they should retry elsewhere (shed) from one that aged out (timeout)
+// from one the backend could not answer (tier_exhausted).
+type ErrorKind string
+
+// The error taxonomy (DESIGN.md, "Serving layer").
+const (
+	// KindValidation: the question itself is malformed; retrying the
+	// identical request can never succeed.
+	KindValidation ErrorKind = "validation"
+	// KindShed: the waiting room was full and admission control turned
+	// the request away; retry after the hinted delay.
+	KindShed ErrorKind = "shed"
+	// KindTimeout: the per-request deadline expired before a tier
+	// answered.
+	KindTimeout ErrorKind = "timeout"
+	// KindTierExhausted: every translator tier failed or was skipped
+	// by an open breaker.
+	KindTierExhausted ErrorKind = "tier_exhausted"
+	// KindDraining: the server is shutting down and no longer admits
+	// work.
+	KindDraining ErrorKind = "draining"
+	// KindInternal: everything else (execution failure on translated
+	// SQL, encoding problems).
+	KindInternal ErrorKind = "internal"
+)
+
+// HTTPStatus maps the kind to its response status code.
+func (k ErrorKind) HTTPStatus() int {
+	switch k {
+	case KindValidation:
+		return http.StatusBadRequest
+	case KindShed:
+		return http.StatusTooManyRequests
+	case KindTimeout:
+		return http.StatusGatewayTimeout
+	case KindTierExhausted:
+		return http.StatusBadGateway
+	case KindDraining:
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// apiError is the JSON error body: {"error":{"kind":...,"message":...}}.
+type apiError struct {
+	Kind    ErrorKind `json:"kind"`
+	Message string    `json:"message"`
+	// RetryAfterSec mirrors the Retry-After header on shed responses.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
+}
+
+type errorEnvelope struct {
+	Error apiError `json:"error"`
+}
+
+// writeError renders one taxonomy error as JSON. retryAfterSec > 0
+// additionally sets the Retry-After header (shed responses).
+func writeError(w http.ResponseWriter, kind ErrorKind, retryAfterSec int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	w.WriteHeader(kind.HTTPStatus())
+	writeJSON(w, errorEnvelope{Error: apiError{
+		Kind:          kind,
+		Message:       fmt.Sprintf(format, args...),
+		RetryAfterSec: retryAfterSec,
+	}})
+}
+
+// writeJSON encodes v to w. An encode failure means the client hung
+// up mid-response; there is nobody left to tell, so the error is
+// deliberately dropped.
+func writeJSON(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// classify maps a translation failure onto the taxonomy. Validation
+// and deadline failures are recognized by type; everything else that
+// came out of the tier chain is tier exhaustion.
+func classify(err error) ErrorKind {
+	var verr *runtime.ValidationError
+	switch {
+	case errors.As(err, &verr):
+		return KindValidation
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return KindTimeout
+	default:
+		return KindTierExhausted
+	}
+}
+
+// retryable reports whether a failed translation is worth retrying on
+// the same server: transient tier failures are, malformed input and
+// expired deadlines are not.
+func retryable(err error) bool {
+	switch classify(err) {
+	case KindValidation, KindTimeout:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/par"
+)
+
+// RetryPolicy is capped exponential backoff with seeded jitter.
+// Delays are a pure function of (Seed, request id, attempt) through
+// the same SplitMix64 derivation the rest of the repository uses for
+// RNG streams, so a retry schedule is reproducible from the request
+// id alone — no global RNG, no scheduling dependence.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 1 = no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 10ms);
+	// it doubles per retry up to MaxDelay (default 250ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed selects the jitter stream.
+	Seed int64
+	// Sleep is injected by tests to observe delays without waiting;
+	// nil sleeps for real, but never past ctx.
+	Sleep func(time.Duration)
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 250 * time.Millisecond
+	}
+	return p
+}
+
+// delay computes the backoff before retry attempt a (0-based) of
+// request id: exponential growth capped at MaxDelay, then jittered
+// into [d/2, d) so synchronized clients decorrelate.
+func (p RetryPolicy) delay(id int64, a int) time.Duration {
+	d := p.BaseDelay << uint(a)
+	if d <= 0 || d > p.MaxDelay { // <= 0 catches shift overflow
+		d = p.MaxDelay
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	jitter := uint64(par.SplitSeed(p.Seed^id, a)) % uint64(half)
+	return time.Duration(half + int64(jitter))
+}
+
+// Do runs fn up to MaxAttempts times, backing off between attempts.
+// retryable decides which errors are worth another try; a
+// non-retryable error (validation, an expired deadline) returns
+// immediately. It reports how many retries ran and the final error
+// (nil on success). A context that expires during backoff ends the
+// loop with the context's error.
+func (p RetryPolicy) Do(ctx context.Context, id int64, retryable func(error) bool, fn func() error) (retries int, err error) {
+	p = p.withDefaults()
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || attempt >= p.MaxAttempts-1 || !retryable(err) {
+			return retries, err
+		}
+		if serr := p.sleep(ctx, p.delay(id, attempt)); serr != nil {
+			return retries, serr
+		}
+		retries++
+	}
+}
+
+// sleep waits d or until ctx is done, whichever is first.
+func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

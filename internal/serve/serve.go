@@ -1,0 +1,367 @@
+// Package serve is the hardened concurrent serving layer over the
+// runtime phase: it exposes runtime.Translator as a long-lived
+// net/http service that stays correct and responsive under overload,
+// slow models, and injected faults. The robustness stack, outside-in:
+//
+//   - Admission control: a concurrency limiter (par.Limiter) sized to
+//     the worker count plus a bounded waiting room. When both are
+//     full, the request is shed with 429 + Retry-After instead of
+//     queueing unboundedly — under overload, latency stays bounded
+//     and the queue never grows past its cap.
+//   - Per-request deadlines: every admitted request runs under a
+//     context deadline that propagates into the translator's
+//     Deadline/Fallbacks chain; expiry is a typed timeout response,
+//     and the abandoned tier costs at most a goroutine, never a slot.
+//   - Circuit breakers: one Breaker per translator tier, plugged into
+//     the chain as a runtime.TierHook. A persistently failing or slow
+//     primary trips open and is skipped without paying its deadline;
+//     after a cooldown a half-open probe decides recovery.
+//   - Retry: transient chain failures are retried with capped
+//     exponential backoff and seeded jitter — never validation
+//     errors, which cannot succeed on resubmission.
+//   - Graceful drain: Drain flips /readyz to 503 so load balancers
+//     stop routing; Shutdown then stops accepting and lets in-flight
+//     requests finish under the caller's drain deadline.
+//
+// Endpoints: POST/GET /ask (translate + execute), /translate
+// (translate only, with the lifecycle trace), /healthz (liveness),
+// /readyz (readiness, drain-aware), /statsz (JSON Stats snapshot).
+// Failures use the ErrorKind taxonomy in errors.go.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/par"
+	"repro/internal/runtime"
+	"repro/internal/sqlast"
+)
+
+// Config sizes the robustness stack. The zero value gets defaults
+// suitable for tests and small deployments.
+type Config struct {
+	// Workers bounds concurrent translations (0 = NumCPU).
+	Workers int
+	// Queue is the waiting-room size: requests beyond Workers that
+	// may wait for a slot before shedding starts (0 = 2×Workers,
+	// negative = no waiting room).
+	Queue int
+	// Timeout is the default per-request deadline (0 = 10s). Clients
+	// may lower it per request with timeout_ms, never raise it.
+	Timeout time.Duration
+	// Retry is the transient-failure retry policy (zero = no retry).
+	Retry RetryPolicy
+	// Breaker parameterizes the per-tier circuit breakers; set
+	// DisableBreakers to run without them.
+	Breaker         BreakerConfig
+	DisableBreakers bool
+}
+
+func (c Config) withDefaults() Config {
+	c.Workers = par.Count(c.Workers)
+	if c.Queue == 0 {
+		c.Queue = 2 * c.Workers
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server wraps one runtime.Translator behind the robustness stack.
+// Create it with New, mount Handler (or Start/Shutdown for a managed
+// listener), and it is safe for any number of concurrent requests.
+type Server struct {
+	tr       *runtime.Translator
+	cfg      Config
+	limiter  *par.Limiter
+	breakers *TierBreakers
+	stats    *counters
+	mux      *http.ServeMux
+	http     *http.Server
+
+	waiting  atomic.Int64
+	draining atomic.Bool
+	reqSeq   atomic.Int64
+}
+
+// New wires the stack around tr. Unless cfg.DisableBreakers is set,
+// tr.Hook is replaced with the server's per-tier breakers — the
+// breaker hook point of the degradation chain.
+func New(tr *runtime.Translator, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		tr:      tr,
+		cfg:     cfg,
+		limiter: par.NewLimiter(cfg.Workers),
+		stats:   newCounters(),
+		mux:     http.NewServeMux(),
+	}
+	if !cfg.DisableBreakers {
+		s.breakers = NewTierBreakers(cfg.Breaker)
+		tr.Hook = s.breakers
+	}
+	s.mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) { s.answer(w, r, true) })
+	s.mux.HandleFunc("/translate", func(w http.ResponseWriter, r *http.Request) { s.answer(w, r, false) })
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.http = &http.Server{Handler: s.mux}
+	return s
+}
+
+// Handler returns the routed handler, for tests and custom listeners.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start serves on ln in the background and returns the channel that
+// yields http.Server.Serve's error when the listener closes
+// (http.ErrServerClosed after a clean Shutdown).
+func (s *Server) Start(ln net.Listener) <-chan error {
+	errc := make(chan error, 1)
+	//lint:allow rawgo the accept loop must run beside the signal handler; net/http owns the per-connection concurrency
+	go func() { errc <- s.http.Serve(ln) }()
+	return errc
+}
+
+// Drain flips the server to draining: /readyz answers 503 and new
+// work is rejected with the draining error, while requests already
+// admitted keep running. Load balancers watch /readyz, so calling
+// Drain before Shutdown gives them time to stop routing here.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains and then stops the listener started by Start,
+// waiting for in-flight requests to finish until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	return s.http.Shutdown(ctx)
+}
+
+// Snapshot assembles the current Stats.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Draining:   s.draining.Load(),
+		Capacity:   s.cfg.Workers,
+		QueueCap:   s.cfg.Queue,
+		InFlight:   s.limiter.InUse(),
+		QueueDepth: s.waiting.Load(),
+		Accepted:   s.stats.accepted.Load(),
+		Completed:  s.stats.completed.Load(),
+		Failed:     s.stats.failed.Load(),
+		Shed:       s.stats.shed.Load(),
+		Timeouts:   s.stats.timeouts.Load(),
+		Validation: s.stats.validation.Load(),
+		Retries:    s.stats.retries.Load(),
+		Tiers:      s.stats.tierCounts(),
+		Breakers:   map[string]string{},
+	}
+	if s.breakers != nil {
+		st.Breakers = s.breakers.States()
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Request handling.
+// ---------------------------------------------------------------------
+
+// askRequest is the POST body of /ask and /translate; GET requests
+// use ?q= and ?timeout_ms= instead.
+type askRequest struct {
+	Question  string `json:"question"`
+	TimeoutMS int    `json:"timeout_ms"`
+}
+
+// askResponse is the success body.
+type askResponse struct {
+	Question string `json:"question"`
+	SQL      string `json:"sql"`
+	// Tier names the translator tier that answered.
+	Tier string `json:"tier"`
+	// TierErrors lists the failed tiers ahead of the answering one.
+	TierErrors []string `json:"tier_errors,omitempty"`
+	// Columns/Rows carry the execution result on /ask (absent on
+	// /translate).
+	Columns []string   `json:"columns,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+	Retries int        `json:"retries,omitempty"`
+}
+
+// answer is the shared /ask (execute=true) and /translate handler.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		writeError(w, KindValidation, 0, "method %s not allowed; use GET or POST", r.Method)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, KindDraining, 0, "server is draining")
+		return
+	}
+	req, err := parseAsk(r)
+	if err != nil {
+		s.stats.validation.Add(1)
+		writeError(w, KindValidation, 0, "%v", err)
+		return
+	}
+
+	// Admission control: take a slot immediately if one is free; else
+	// join the bounded waiting room or shed.
+	if !s.limiter.TryAcquire() {
+		if s.waiting.Add(1) > int64(s.cfg.Queue) {
+			s.waiting.Add(-1)
+			s.stats.shed.Add(1)
+			writeError(w, KindShed, 1, "server at capacity (%d in flight, %d queued); retry later",
+				s.cfg.Workers, s.cfg.Queue)
+			return
+		}
+		werr := s.limiter.Acquire(r.Context())
+		s.waiting.Add(-1)
+		if werr != nil {
+			// The client went away while queued.
+			s.stats.timeouts.Add(1)
+			writeError(w, KindTimeout, 0, "request cancelled while queued: %v", werr)
+			return
+		}
+	}
+	defer s.limiter.Release()
+	s.stats.accepted.Add(1)
+
+	timeout := s.cfg.Timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	var (
+		q     *sqlast.Query
+		trace *runtime.Trace
+	)
+	retries, terr := s.cfg.Retry.Do(ctx, s.reqSeq.Add(1), retryable, func() error {
+		var ferr error
+		q, trace, ferr = s.tr.TranslateTraceContext(ctx, req.Question)
+		return ferr
+	})
+	s.stats.retries.Add(int64(retries))
+	if terr != nil {
+		kind := classify(terr)
+		if ctx.Err() != nil {
+			// Whatever the chain reported, the request deadline is the
+			// root cause once it has expired.
+			kind = KindTimeout
+		}
+		s.recordFailure(kind)
+		writeError(w, kind, 0, "%v", terr)
+		return
+	}
+
+	resp := askResponse{
+		Question: req.Question,
+		SQL:      q.String(),
+		Tier:     trace.Tier,
+		Retries:  retries,
+	}
+	resp.TierErrors = append(resp.TierErrors, trace.TierErrors...)
+	if execute {
+		res, xerr := s.tr.DB.Execute(q)
+		if xerr != nil {
+			s.recordFailure(KindInternal)
+			writeError(w, KindInternal, 0, "executing %q: %v", q.String(), xerr)
+			return
+		}
+		resp.Columns = res.Columns
+		for _, row := range res.Rows {
+			out := make([]string, len(row))
+			for i, v := range row {
+				out[i] = v.String()
+			}
+			resp.Rows = append(resp.Rows, out)
+		}
+	}
+	s.stats.completed.Add(1)
+	s.stats.answeredBy(trace.Tier)
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, resp)
+}
+
+// recordFailure bumps the failure counter for the kind.
+func (s *Server) recordFailure(kind ErrorKind) {
+	switch kind {
+	case KindTimeout:
+		s.stats.timeouts.Add(1)
+	case KindValidation:
+		s.stats.validation.Add(1)
+	}
+	s.stats.failed.Add(1)
+}
+
+// parseAsk extracts the question and optional timeout from either
+// request form.
+func parseAsk(r *http.Request) (askRequest, error) {
+	var req askRequest
+	if r.Method == http.MethodGet {
+		req.Question = r.URL.Query().Get("q")
+		if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+			n, err := strconv.Atoi(ms)
+			if err != nil || n < 0 {
+				return req, errors.New("timeout_ms must be a non-negative integer")
+			}
+			req.TimeoutMS = n
+		}
+		return req, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		return req, errors.New("unreadable request body")
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return req, errors.New("malformed JSON body; want {\"question\": \"...\"}")
+	}
+	if req.TimeoutMS < 0 {
+		return req, errors.New("timeout_ms must be non-negative")
+	}
+	return req, nil
+}
+
+// ---------------------------------------------------------------------
+// Probes.
+// ---------------------------------------------------------------------
+
+// handleHealthz is liveness: 200 as long as the process serves.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 while accepting, 503 once draining.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeJSON(w, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
+}
+
+// handleStatsz renders the Stats snapshot.
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, s.Snapshot())
+}

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is the /statsz snapshot: queue and concurrency occupancy,
+// admission outcomes, retry volume, per-tier answer counts, and the
+// state of every tier breaker. The shape is part of the serving
+// contract (DESIGN.md, "Serving layer").
+type Stats struct {
+	Draining bool `json:"draining"`
+	// Capacity is the concurrency limit, QueueCap the waiting room.
+	Capacity int `json:"capacity"`
+	QueueCap int `json:"queue_cap"`
+	// InFlight and QueueDepth are instantaneous occupancy.
+	InFlight   int   `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+	// Admission and completion counters (monotonic).
+	Accepted   int64 `json:"accepted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Shed       int64 `json:"shed"`
+	Timeouts   int64 `json:"timeouts"`
+	Validation int64 `json:"validation"`
+	Retries    int64 `json:"retries"`
+	// Tiers counts answered questions by the tier that answered
+	// (Trace.Tier); Breakers names each tier breaker's state.
+	Tiers    map[string]int64  `json:"tiers"`
+	Breakers map[string]string `json:"breakers"`
+}
+
+// counters aggregates the server's mutable telemetry. Counter fields
+// are atomics; the tier map has its own lock.
+type counters struct {
+	accepted   atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+	shed       atomic.Int64
+	timeouts   atomic.Int64
+	validation atomic.Int64
+	retries    atomic.Int64
+
+	mu    sync.Mutex
+	tiers map[string]int64
+}
+
+func newCounters() *counters {
+	return &counters{tiers: map[string]int64{}}
+}
+
+// answeredBy bumps the per-tier answer count.
+func (c *counters) answeredBy(tier string) {
+	if tier == "" {
+		return
+	}
+	c.mu.Lock()
+	c.tiers[tier]++
+	c.mu.Unlock()
+}
+
+// tierCounts snapshots the per-tier map in sorted-key order.
+func (c *counters) tierCounts() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.tiers))
+	for name := range c.tiers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make(map[string]int64, len(names))
+	for _, name := range names {
+		out[name] = c.tiers[name]
+	}
+	return out
+}
