@@ -1,7 +1,10 @@
 // Command dbpal-serve exposes a bootstrapped DBPal model over HTTP
 // behind the hardened serving layer (internal/serve): admission
 // control with bounded queueing, per-request deadlines, per-tier
-// circuit breakers, seeded retry backoff, and graceful drain.
+// circuit breakers, seeded retry backoff, graceful drain, and the
+// inference hot path: an anonymization-keyed result cache and
+// cross-request microbatched decode (-cache-size, -batch-max,
+// -batch-wait).
 //
 //	dbpal-serve -schema patients -model nn -addr :8080
 //	curl 'localhost:8080/ask?q=show+the+names+of+all+patients+with+age+80'
@@ -55,6 +58,10 @@ func main() {
 		retries  = flag.Int("retries", 1, "retry attempts after a transient translation failure")
 		breakers = flag.Bool("breakers", true, "run a circuit breaker per translator tier")
 		cooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before the half-open probe")
+
+		cacheSize = flag.Int("cache-size", 1024, "anonymization-keyed result cache entries (0 = no cache)")
+		batchMax  = flag.Int("batch-max", 8, "microbatch size: concurrent decodes share one batched forward pass (0 or 1 = no batching)")
+		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial microbatch waits before flushing")
 	)
 	flag.Parse()
 
@@ -63,6 +70,7 @@ func main() {
 		seed: *seed, rows: *rows, execGuided: *execGuided, deadline: *deadline, fallback: *fallback,
 		workers: *workers, queue: *queue, timeout: *timeout, drain: *drain,
 		retries: *retries, breakers: *breakers, cooldown: *cooldown,
+		cacheSize: *cacheSize, batchMax: *batchMax, batchWait: *batchWait,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -80,6 +88,8 @@ type config struct {
 	retries                               int
 	breakers                              bool
 	cooldown                              time.Duration
+	cacheSize, batchMax                   int
+	batchWait                             time.Duration
 }
 
 func run(cfg config) error {
@@ -134,6 +144,9 @@ func run(cfg config) error {
 		},
 		Breaker:         serve.BreakerConfig{Cooldown: cfg.cooldown},
 		DisableBreakers: !cfg.breakers,
+		CacheSize:       cfg.cacheSize,
+		BatchMax:        cfg.batchMax,
+		BatchWait:       cfg.batchWait,
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)

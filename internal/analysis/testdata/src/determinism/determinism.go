@@ -37,3 +37,43 @@ func timedAbove() time.Time {
 func timedInline() int64 {
 	return time.Now().UnixNano() //lint:allow determinism timing-only fixture site
 }
+
+// --- Inference hot-path shapes (result cache, microbatcher): time
+// must come from an injected clock/timer, jitter from an explicit
+// seed, so cache eviction and batch flushing replay deterministically.
+
+type cacheEntry struct {
+	val      string
+	lastSeen time.Time
+}
+
+// Wall-clock recency stamps couple eviction order to scheduling; the
+// repo's cache evicts by access order instead.
+func stamp(e *cacheEntry) {
+	e.lastSeen = time.Now() // want `time\.Now reads the wall clock`
+}
+
+type batcher struct {
+	now   func() time.Time            // injected clock
+	after func(time.Duration, func()) // injected timer
+}
+
+// The injected-clock pattern is clean: no wall-clock read appears in
+// library code, and tests substitute both hooks.
+func (b *batcher) deadline(wait time.Duration) time.Time {
+	return b.now().Add(wait)
+}
+
+func (b *batcher) arm(wait time.Duration, flush func()) {
+	b.after(wait, flush)
+}
+
+// Bypassing the injected clock for the flush deadline is flagged.
+func (b *batcher) wallDeadline(wait time.Duration) time.Time {
+	return time.Now().Add(wait) // want `time\.Now reads the wall clock`
+}
+
+// Jittering the flush window from the global RNG is flagged.
+func (b *batcher) jitter(wait time.Duration) time.Duration {
+	return wait + time.Duration(rand.Int63n(int64(wait))) // want `rand\.Int63n draws from the global RNG`
+}

@@ -1,0 +1,104 @@
+package models
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// batchQuestions mixes trained phrasings, unseen phrasings, and
+// different lengths, so the batch exercises ragged encoder lengths,
+// rows reaching EOS at different steps, and OOV copy tokens.
+func batchQuestions() [][]string {
+	return [][]string{
+		strings.Fields("show the name of patient with age @PATIENTS.AGE"),
+		strings.Fields("how many patient be there"),
+		strings.Fields("show the diagnosis of patient with age @PATIENTS.AGE"),
+		strings.Fields("what be the average age of patient"),
+		strings.Fields("list patient with diagnosis @PATIENTS.DIAGNOSIS"),
+		strings.Fields("name of the oldest patient please"),
+		strings.Fields("age"),
+		strings.Fields("show name and diagnosis of every patient with age @PATIENTS.AGE and more words"),
+	}
+}
+
+// TestTranslateBatchSingletonGolden: batched decoding of a single
+// input must be bit-identical to the sequential Translate — the k=1
+// equivalence that guarantees batching never changes single-request
+// semantics.
+func TestTranslateBatchSingletonGolden(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	st := trainingExamples()[0].Schema
+	for _, nl := range batchQuestions() {
+		seq := m.Translate(nl, st)
+		bat := m.TranslateBatch([][]string{nl}, st)
+		if len(bat) != 1 || !reflect.DeepEqual(bat[0], seq) {
+			t.Fatalf("TranslateBatch(k=1) diverged for %v:\n  batched:    %v\n  sequential: %v", nl, bat, seq)
+		}
+	}
+}
+
+// TestTranslateBatchRowGolden: at k=n, every row of the batched decode
+// must equal the sequential translation of that row alone — batch
+// composition must not leak between rows.
+func TestTranslateBatchRowGolden(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	st := trainingExamples()[0].Schema
+	nls := batchQuestions()
+	bat := m.TranslateBatch(nls, st)
+	if len(bat) != len(nls) {
+		t.Fatalf("TranslateBatch returned %d rows for %d inputs", len(bat), len(nls))
+	}
+	for r, nl := range nls {
+		seq := m.Translate(nl, st)
+		if !reflect.DeepEqual(bat[r], seq) {
+			t.Fatalf("row %d diverged for %v:\n  batched:    %v\n  sequential: %v", r, nl, bat[r], seq)
+		}
+	}
+	// Sub-batches in a different order must not change any row either.
+	sub := [][]string{nls[3], nls[0], nls[6]}
+	for r, got := range m.TranslateBatch(sub, st) {
+		if want := m.Translate(sub[r], st); !reflect.DeepEqual(got, want) {
+			t.Fatalf("sub-batch row %d = %v, want %v", r, got, want)
+		}
+	}
+}
+
+// TestTranslateBatchUnseenSchema: the copy path must survive batching
+// — OOV schema tokens of a never-seen database still come out.
+func TestTranslateBatchUnseenSchema(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	st := []string{"ships", "label", "tonnage", "ships.label", "ships.tonnage", "@SHIPS.TONNAGE", "@JOIN"}
+	nl := strings.Fields("show the label of ship with tonnage @SHIPS.TONNAGE")
+	seq := m.Translate(nl, st)
+	bat := m.TranslateBatch([][]string{nl, strings.Fields("how many ship be there")}, st)
+	if !reflect.DeepEqual(bat[0], seq) {
+		t.Fatalf("unseen-schema batched row diverged:\n  batched:    %v\n  sequential: %v", bat[0], seq)
+	}
+}
+
+// TestTranslateBatchEdgeCases: untrained models and empty batches keep
+// the sequential path's shape.
+func TestTranslateBatchEdgeCases(t *testing.T) {
+	untrained := NewSeq2Seq(DefaultSeq2SeqConfig())
+	if out := untrained.TranslateBatch([][]string{{"x"}}, []string{"t"}); len(out) != 1 || out[0] != nil {
+		t.Fatalf("untrained TranslateBatch = %v, want [nil]", out)
+	}
+	m := trainedSeq2Seq(t)
+	if out := m.TranslateBatch(nil, trainingExamples()[0].Schema); len(out) != 0 {
+		t.Fatalf("empty batch returned %v", out)
+	}
+}
+
+// TestTranslateEach: the generic fallback preserves index alignment.
+func TestTranslateEach(t *testing.T) {
+	m := trainedSeq2Seq(t)
+	st := trainingExamples()[0].Schema
+	nls := batchQuestions()[:3]
+	each := TranslateEach(m, nls, st)
+	for r, nl := range nls {
+		if want := m.Translate(nl, st); !reflect.DeepEqual(each[r], want) {
+			t.Fatalf("TranslateEach row %d = %v, want %v", r, each[r], want)
+		}
+	}
+}

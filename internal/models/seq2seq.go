@@ -492,18 +492,25 @@ func (m *Seq2Seq) Translate(nl, schemaToks []string) []string {
 // bestToken picks the argmax token of the mixture distribution over
 // the vocabulary plus copyable input tokens.
 func (m *Seq2Seq) bestToken(st *decStep, es *encState) string {
+	return m.pickToken(st.pv, st.pgen, st.alpha, es.toks)
+}
+
+// pickToken is the decoding argmax shared by the sequential and the
+// batched greedy decoders: pv is the vocabulary softmax, pgen the
+// generate-vs-copy mixture weight, alpha the attention over inputToks.
+func (m *Seq2Seq) pickToken(pv []float64, pgen float64, alpha []float64, inputToks []string) string {
 	// Copy mass per distinct input token.
 	copyMass := map[string]float64{}
-	for i, tok := range es.toks {
-		copyMass[tok] += st.alpha[i]
+	for i, tok := range inputToks {
+		copyMass[tok] += alpha[i]
 	}
 	bestTok := tokens.EosToken
 	bestP := math.Inf(-1)
-	for id, pv := range st.pv {
-		p := st.pgen * pv
+	for id, pvID := range pv {
+		p := pgen * pvID
 		w := m.vocab.Word(id)
 		if cm, ok := copyMass[w]; ok {
-			p += (1 - st.pgen) * cm
+			p += (1 - pgen) * cm
 		}
 		if id == tokens.PadID || id == tokens.BosID || id == tokens.UnkID || w == tokens.SepToken {
 			continue
@@ -516,7 +523,7 @@ func (m *Seq2Seq) bestToken(st *decStep, es *encState) string {
 		if m.vocab.Has(tok) || tok == tokens.SepToken {
 			continue // already counted through the vocabulary loop
 		}
-		p := (1 - st.pgen) * copyMass[tok]
+		p := (1 - pgen) * copyMass[tok]
 		if p > bestP {
 			bestP, bestTok = p, tok
 		}

@@ -1,0 +1,234 @@
+package neural
+
+// Batched inference substrate. The per-example training path in this
+// package works one vector at a time (MulVec and friends), which is
+// the right shape for backprop but wastes the weight matrices' cache
+// locality at serving time: decoding k concurrent questions pays k
+// full passes over every weight row. The types here give the serving
+// path a batch dimension — a Batch is k activation vectors stacked
+// row-major, MulBatch sweeps each weight row across all k examples
+// while it is hot, and an Arena recycles the step-scratch buffers so a
+// steady-state decode step allocates nothing.
+//
+// Equivalence invariant (tested in gemm_test.go and the models golden
+// tests): every batched kernel performs, per row, exactly the same
+// floating-point operations in exactly the same order as its
+// per-example counterpart. Batched results are therefore bit-identical
+// to the sequential path at every batch size — batching is a layout
+// change, never a numeric one.
+
+// Batch is a dense row-major K×N activation matrix: row b holds
+// example b's vector. It is the unit of the batched inference path.
+type Batch struct {
+	K, N int
+	W    []float64
+}
+
+// NewBatch allocates a zero batch of k rows of width n.
+func NewBatch(k, n int) *Batch {
+	return &Batch{K: k, N: n, W: make([]float64, k*n)}
+}
+
+// Row returns a view of row b.
+func (b *Batch) Row(i int) []float64 { return b.W[i*b.N : (i+1)*b.N] }
+
+// Prefix returns a view batch over the first k rows (no copy). Rows
+// sorted so that active examples form a prefix can be stepped as one
+// contiguous sub-batch.
+func (b *Batch) Prefix(k int) *Batch {
+	return &Batch{K: k, N: b.N, W: b.W[:k*b.N]}
+}
+
+// MulBatch computes Y = X Mᵀ for a batch X (K×C) into Y (K×R):
+// Y[b][i] = Σ_j M[i][j]·X[b][j]. The weight row is the outer loop so
+// it stays cache-hot across all K examples, and the inner j loop
+// accumulates in the same ascending order as MulVec — each output row
+// is bit-identical to MulVec on that row alone.
+func (m *Mat) MulBatch(x, y *Batch) {
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		for b := 0; b < x.K; b++ {
+			xr := x.W[b*x.N : (b+1)*x.N]
+			s := 0.0
+			for j, rv := range row {
+				s += rv * xr[j]
+			}
+			y.W[b*y.N+i] = s
+		}
+	}
+}
+
+// MulBatchAdd computes Y += X Mᵀ with the same ordering guarantees as
+// MulBatch (the batched MulVecAdd).
+func (m *Mat) MulBatchAdd(x, y *Batch) {
+	for i := 0; i < m.R; i++ {
+		row := m.W[i*m.C : (i+1)*m.C]
+		for b := 0; b < x.K; b++ {
+			xr := x.W[b*x.N : (b+1)*x.N]
+			s := 0.0
+			for j, rv := range row {
+				s += rv * xr[j]
+			}
+			y.W[b*y.N+i] += s
+		}
+	}
+}
+
+// AddBias adds a column bias (R×1 Mat) to every row of the batch.
+func (b *Batch) AddBias(bias *Mat) {
+	for r := 0; r < b.K; r++ {
+		row := b.Row(r)
+		for i := range row {
+			row[i] += bias.W[i]
+		}
+	}
+}
+
+// SigmoidBatch applies the logistic function elementwise (same per-
+// element computation as Sigmoid).
+func SigmoidBatch(src, dst *Batch) {
+	Sigmoid(src.W, dst.W)
+}
+
+// TanhBatch applies tanh elementwise.
+func TanhBatch(src, dst *Batch) {
+	Tanh(src.W, dst.W)
+}
+
+// SoftmaxRows applies Softmax independently to every row, reusing the
+// sequential kernel per row so each row's normalization is
+// bit-identical to the per-example path.
+func SoftmaxRows(src, dst *Batch) *Batch {
+	for b := 0; b < src.K; b++ {
+		Softmax(src.Row(b), dst.Row(b))
+	}
+	return dst
+}
+
+// Arena is a recycling allocator for inference scratch: Vec and Batch
+// hand out zeroed buffers drawn from an internal free list, and Reset
+// returns every outstanding buffer to the list. A decode loop that
+// Resets once per step reaches a steady state where no step allocates
+// — the buffer sequence repeats, so every request is served from the
+// same recycled slabs. An Arena is single-goroutine state; each
+// batched decode owns its own.
+type Arena struct {
+	bufs [][]float64
+	next int
+	// Batch headers are recycled alongside their buffers — a scratch
+	// *Batch escaping to the heap per kernel call would otherwise undo
+	// the zero-alloc steady state.
+	hdrs  []*Batch
+	hnext int
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// take returns a zeroed buffer of length n, recycling a prior slab
+// when one with sufficient capacity is next in line.
+func (a *Arena) take(n int) []float64 {
+	if a.next < len(a.bufs) && cap(a.bufs[a.next]) >= n {
+		buf := a.bufs[a.next][:n]
+		a.next++
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf
+	}
+	buf := make([]float64, n)
+	if a.next < len(a.bufs) {
+		// The slab in line is too small for this request; replace it so
+		// the steady state converges instead of re-allocating forever.
+		a.bufs[a.next] = buf
+	} else {
+		a.bufs = append(a.bufs, buf)
+	}
+	a.next++
+	return buf
+}
+
+// Vec returns a zeroed scratch vector of length n valid until Reset.
+func (a *Arena) Vec(n int) []float64 { return a.take(n) }
+
+// Batch returns a zeroed k×n scratch batch valid until Reset.
+func (a *Arena) Batch(k, n int) *Batch {
+	var h *Batch
+	if a.hnext < len(a.hdrs) {
+		h = a.hdrs[a.hnext]
+	} else {
+		h = &Batch{}
+		a.hdrs = append(a.hdrs, h)
+	}
+	a.hnext++
+	h.K, h.N, h.W = k, n, a.take(k*n)
+	return h
+}
+
+// Reset recycles every buffer and header handed out since the last
+// Reset.
+func (a *Arena) Reset() { a.next, a.hnext = 0, 0 }
+
+// StepBatch computes one GRU step for a batch of examples: given
+// inputs X (K×In) and hidden states H (K×Hid) it returns H' (K×Hid)
+// drawn from the arena. Row b of the result is bit-identical to
+// Forward(X.Row(b), H.Row(b)) — the kernels below replay the exact
+// per-gate accumulation order of the sequential step (W-term, then
+// U-term, then bias, then the activation). No backprop cache is built;
+// this is the inference-only path.
+func (g *GRU) StepBatch(x, h *Batch, a *Arena) *Batch {
+	hid := g.Hid
+	k := x.K
+
+	az := a.Batch(k, hid)
+	g.Wz.MulBatch(x, az)
+	g.Uz.MulBatchAdd(h, az)
+	az.AddBias(g.Bz)
+	z := a.Batch(k, hid)
+	SigmoidBatch(az, z)
+
+	ar := a.Batch(k, hid)
+	g.Wr.MulBatch(x, ar)
+	g.Ur.MulBatchAdd(h, ar)
+	ar.AddBias(g.Br)
+	r := a.Batch(k, hid)
+	SigmoidBatch(ar, r)
+
+	rh := a.Batch(k, hid)
+	for i, rv := range r.W {
+		rh.W[i] = rv * h.W[i]
+	}
+	ac := a.Batch(k, hid)
+	g.Wh.MulBatch(x, ac)
+	g.Uh.MulBatchAdd(rh, ac)
+	ac.AddBias(g.Bh)
+	c := a.Batch(k, hid)
+	TanhBatch(ac, c)
+
+	hn := a.Batch(k, hid)
+	for i := range hn.W {
+		hn.W[i] = (1-z.W[i])*h.W[i] + z.W[i]*c.W[i]
+	}
+	return hn
+}
+
+// LookupBatch copies the embedding rows for ids into an arena batch
+// (ids are clamped exactly as Lookup clamps them). The copy is what
+// lets the batch advance through the GEMM kernels contiguously; the
+// values are the same rows Lookup returns as views.
+func (e *Embedding) LookupBatch(ids []int, a *Arena) *Batch {
+	out := a.Batch(len(ids), e.Dim)
+	for b, id := range ids {
+		copy(out.Row(b), e.Lookup(id))
+	}
+	return out
+}
+
+// ForwardBatch computes Y = X Wᵀ + b for a batch, row-equivalent to
+// Forward (same MulVec ordering, then the bias add).
+func (l *Linear) ForwardBatch(x *Batch, a *Arena) *Batch {
+	y := a.Batch(x.K, l.Out)
+	l.W.MulBatch(x, y)
+	y.AddBias(l.B)
+	return y
+}

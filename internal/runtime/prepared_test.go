@@ -1,0 +1,182 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/models"
+)
+
+// TestPreprocessCanonicalizesConstants: the cache-key property — two
+// questions differing only in constants preprocess to the same
+// lemmatized token sequence, with the per-request constant carried in
+// the bindings.
+func TestPreprocessCanonicalizesConstants(t *testing.T) {
+	tr := NewTranslator(benchDB(t), oracleModel{})
+	anon80, nl80, err := tr.Preprocess("show the names of all patients with age 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon45, nl74, err := tr.Preprocess("show the names of all patients with age 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nl80, nl74) {
+		t.Fatalf("constant variations must share a key:\n  %v\n  %v", nl80, nl74)
+	}
+	if len(anon80.Bindings) != 1 || len(anon45.Bindings) != 1 {
+		t.Fatalf("bindings = %v / %v, want one each", anon80.Bindings, anon45.Bindings)
+	}
+	if anon80.Bindings[0].Value.String() == anon45.Bindings[0].Value.String() {
+		t.Fatal("bindings must carry the differing constants")
+	}
+	if _, _, err := tr.Preprocess(""); err == nil {
+		t.Fatal("Preprocess must reject malformed questions")
+	}
+	if len(tr.SchemaTokens()) == 0 {
+		t.Fatal("SchemaTokens must expose the model's schema serialization")
+	}
+}
+
+// TestTranslatePreparedMatchesTranslateTrace: the split pipeline is
+// the whole pipeline — Preprocess + TranslatePrepared produces the
+// same query, trace fields, and DecodeResult tier as the one-shot
+// entry point.
+func TestTranslatePreparedMatchesTranslateTrace(t *testing.T) {
+	question := "show the names of all patients with age 80"
+	tr := NewTranslator(benchDB(t), oracleModel{})
+
+	wantQ, wantTrace, err := tr.TranslateTrace(question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, nl, err := tr.Preprocess(question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{Question: question}
+	gotQ, dec, err := tr.TranslatePrepared(context.Background(), nl, anon.Bindings, nil, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotQ.String() != wantQ.String() {
+		t.Fatalf("split pipeline query %q != one-shot %q", gotQ, wantQ)
+	}
+	if dec == nil || dec.Tier != wantTrace.Tier || dec.Tier != "oracle" {
+		t.Fatalf("DecodeResult = %+v, want tier oracle", dec)
+	}
+	if len(dec.Candidates) == 0 || !reflect.DeepEqual(dec.Candidates[0], trace.ModelOut) {
+		t.Fatalf("DecodeResult.Candidates = %v, trace.ModelOut = %v", dec.Candidates, trace.ModelOut)
+	}
+	if trace.Final == nil || trace.Tier != "oracle" {
+		t.Fatalf("trace not populated: %+v", trace)
+	}
+}
+
+// TestTranslatePreparedReplay: a DecodeResult decoded for one
+// request's constants finalizes under another request's bindings —
+// the cache's core replay property — without consulting the model or
+// the tier hook.
+func TestTranslatePreparedReplay(t *testing.T) {
+	tr := NewTranslator(benchDB(t), oracleModel{})
+	anon80, nl, err := tr.Preprocess("show the names of all patients with age 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dec, err := tr.TranslatePrepared(context.Background(), nl, anon80.Bindings, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay for the age-45 request: same decode, different constant.
+	anon45, _, err := tr.Preprocess("show the names of all patients with age 45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Model = panicModel{} // the model must not be consulted on replay
+	hook := &vetoHook{}
+	tr.Hook = hook
+	trace := &Trace{}
+	q, dec2, err := tr.TranslatePrepared(context.Background(), nl, anon45.Bindings, dec, trace)
+	if err != nil {
+		t.Fatalf("replay failed: %v", err)
+	}
+	if !strings.Contains(q.String(), "45") {
+		t.Fatalf("replayed query must carry the new constant: %s", q)
+	}
+	if dec2 != dec {
+		t.Fatalf("replay must return the shared DecodeResult")
+	}
+	if trace.Tier != "oracle" {
+		t.Fatalf("trace.Tier = %q, want the cached tier", trace.Tier)
+	}
+	if hook.allowed != 0 || hook.recorded != 0 {
+		t.Fatalf("hook consulted on replay: %+v", hook)
+	}
+}
+
+// vetoHook counts consultations (replay must make none).
+type vetoHook struct{ allowed, recorded int }
+
+func (h *vetoHook) Allow(string) error   { h.allowed++; return nil }
+func (h *vetoHook) Record(string, error) { h.recorded++ }
+
+// TestTranslatePreparedStaleCandidates: candidates that no longer
+// finalize fail fast with ErrStaleCandidates instead of walking the
+// fallback chain, so the caller can re-decode at full strength.
+func TestTranslatePreparedStaleCandidates(t *testing.T) {
+	tr := NewTranslator(benchDB(t), oracleModel{})
+	tr.Fallbacks = []models.Translator{oracleModel{}}
+	stale := &DecodeResult{Tier: "oracle", Candidates: [][]string{strings.Fields("WHERE WHERE ( SELECT")}}
+	anon, nl, err := tr.Preprocess("show the names of all patients with age 80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{}
+	_, _, err = tr.TranslatePrepared(context.Background(), nl, anon.Bindings, stale, trace)
+	if !errors.Is(err, ErrStaleCandidates) {
+		t.Fatalf("err = %v, want ErrStaleCandidates", err)
+	}
+	if trace.Tier != "" || len(trace.TierErrors) != 0 {
+		t.Fatalf("stale replay must not walk the chain: %+v", trace)
+	}
+	// Fresh decode recovers.
+	q, _, err := tr.TranslatePrepared(context.Background(), nl, anon.Bindings, nil, nil)
+	if err != nil || q == nil {
+		t.Fatalf("fresh decode after stale = (%v, %v)", q, err)
+	}
+}
+
+// TestFinalizeCandidatesContract: exported finalization recovers
+// panics, rejects empty input, and requires execution only in
+// multi-candidate (execution-guided) mode.
+func TestFinalizeCandidatesContract(t *testing.T) {
+	tr := NewTranslator(benchDB(t), oracleModel{})
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	if _, err := tr.FinalizeCandidates(nil, anon.Bindings, nil); err == nil {
+		t.Fatal("empty candidates must error")
+	}
+	good := strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	q, err := tr.FinalizeCandidates([][]string{good}, anon.Bindings, nil)
+	if err != nil || !strings.Contains(q.String(), "80") {
+		t.Fatalf("FinalizeCandidates = (%v, %v)", q, err)
+	}
+	// Ranked mode: the unparsable first candidate is skipped and the
+	// second must execute.
+	bad := strings.Fields("WHERE WHERE ( SELECT")
+	q, err = tr.FinalizeCandidates([][]string{bad, good}, anon.Bindings, nil)
+	if err != nil || q == nil {
+		t.Fatalf("ranked finalize = (%v, %v)", q, err)
+	}
+	// A nil-query panic path inside PostProcess must be contained.
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("FinalizeCandidates leaked a panic: %v", r)
+		}
+	}()
+	_, _ = tr.FinalizeCandidates([][]string{nil, good}, anon.Bindings, nil)
+}

@@ -8,7 +8,9 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -63,6 +65,10 @@ type ParameterHandler struct {
 	// textIndex maps a lower-cased distinct text value to the columns
 	// holding it.
 	textValues []indexedValue
+	// gramIndex is the inverted index from a packed character bigram to
+	// the textValues entries containing it; bestTextMatch scores only
+	// candidates sharing at least one bigram with the phrase.
+	gramIndex map[uint64][]int32
 	// numColumns maps a numeric value to columns holding it.
 	numValues map[float64][]sqlast.ColumnRef
 	// schemaWords are surface forms of schema elements; spans made of
@@ -77,9 +83,9 @@ type ParameterHandler struct {
 }
 
 type indexedValue struct {
-	value   string
-	bigrams map[string]bool // precomputed for Jaccard scoring
-	cols    []sqlast.ColumnRef
+	value  string
+	ngrams int // distinct character bigrams, for Jaccard scoring
+	cols   []sqlast.ColumnRef
 }
 
 // NewParameterHandler builds the value index from the database.
@@ -112,9 +118,8 @@ func NewParameterHandler(db *engine.Database) *ParameterHandler {
 				}
 				textSeen[key] = len(ph.textValues)
 				ph.textValues = append(ph.textValues, indexedValue{
-					value:   key,
-					bigrams: bigrams(key),
-					cols:    []sqlast.ColumnRef{ref},
+					value: key,
+					cols:  []sqlast.ColumnRef{ref},
 				})
 			}
 		}
@@ -129,6 +134,15 @@ func NewParameterHandler(db *engine.Database) *ParameterHandler {
 					ph.schemaWords[lemma.Lemmatize(tok)] = true
 				}
 			}
+		}
+	}
+	ph.gramIndex = map[uint64][]int32{}
+	for id := range ph.textValues {
+		iv := &ph.textValues[id]
+		keys := bigramKeys(iv.value)
+		iv.ngrams = len(keys)
+		for _, g := range keys {
+			ph.gramIndex[g] = append(ph.gramIndex[g], int32(id))
 		}
 	}
 	return ph
@@ -152,6 +166,32 @@ func (ph *ParameterHandler) Anonymize(question string) (*Anonymized, error) {
 	if max := ph.maxTokens(); len(toks) > max {
 		return nil, &ValidationError{Reason: fmt.Sprintf("question has %d tokens; the limit is %d", len(toks), max)}
 	}
+	// Per-token facts used by the span scan below, computed once
+	// instead of once per candidate span (this runs on every request;
+	// see DESIGN.md, "Inference hot path").
+	schemaTok := make([]bool, len(toks))
+	numOrPh := make([]bool, len(toks))
+	for k, t := range toks {
+		schemaTok[k] = ph.schemaWords[lemma.Lemmatize(t)]
+		if tokens.IsPlaceholder(t) {
+			numOrPh[k] = true
+		} else if _, err := strconv.ParseFloat(t, 64); err == nil {
+			numOrPh[k] = true
+		}
+	}
+	// spanEligible: a span is a constant candidate unless it contains a
+	// number/placeholder or consists entirely of schema surface words.
+	spanEligible := func(i, n int) bool {
+		all := true
+		for k := i; k < i+n; k++ {
+			if numOrPh[k] {
+				return false
+			}
+			all = all && schemaTok[k]
+		}
+		return !all
+	}
+
 	out := &Anonymized{}
 	i := 0
 	for i < len(toks) {
@@ -185,11 +225,10 @@ func (ph *ParameterHandler) Anonymize(question string) (*Anonymized, error) {
 			if i+n > len(toks) {
 				continue
 			}
-			span := toks[i : i+n]
-			if ph.allSchemaWords(span) || containsNumberOrPlaceholder(span) {
+			if !spanEligible(i, n) {
 				continue
 			}
-			phrase := strings.Join(span, " ")
+			phrase := strings.Join(toks[i:i+n], " ")
 			ref, dbValue, sim := ph.bestTextMatch(phrase)
 			if sim < ph.MinSimilarity {
 				continue
@@ -244,39 +283,32 @@ func isTopKWord(tok string) bool {
 	return false
 }
 
-// allSchemaWords reports whether every token of the span is a schema
-// surface word (so the span cannot be a constant).
-func (ph *ParameterHandler) allSchemaWords(span []string) bool {
-	for _, t := range span {
-		if !ph.schemaWords[lemma.Lemmatize(t)] {
-			return false
-		}
-	}
-	return true
-}
-
-func containsNumberOrPlaceholder(span []string) bool {
-	for _, t := range span {
-		if tokens.IsPlaceholder(t) {
-			return true
-		}
-		if _, err := strconv.ParseFloat(t, 64); err == nil {
-			return true
-		}
-	}
-	return false
-}
-
 // bestTextMatch finds the indexed text value most similar to the
-// phrase (character-bigram Jaccard).
+// phrase (character-bigram Jaccard). It walks the inverted bigram
+// index, so only candidates sharing at least one bigram with the
+// phrase are scored — a candidate sharing none has similarity 0 and
+// could never win anyway. Candidate order (and therefore tie-breaking
+// on equal similarity) matches a linear scan of textValues.
 func (ph *ParameterHandler) bestTextMatch(phrase string) (sqlast.ColumnRef, string, float64) {
 	var bestRef sqlast.ColumnRef
 	bestVal := ""
 	bestSim := 0.0
-	p := strings.ToLower(phrase)
-	pb := bigrams(p)
-	for _, iv := range ph.textValues {
-		sim := jaccardSets(pb, iv.bigrams)
+	pb := bigramKeys(strings.ToLower(phrase))
+	counts := make([]int32, len(ph.textValues))
+	for _, g := range pb {
+		for _, id := range ph.gramIndex[g] {
+			counts[id]++
+		}
+	}
+	for id, inter := range counts {
+		if inter == 0 {
+			continue
+		}
+		iv := &ph.textValues[id]
+		sim := 1.0
+		if union := len(pb) + iv.ngrams - int(inter); union != int(inter) {
+			sim = float64(inter) / float64(union)
+		}
 		if sim > bestSim {
 			bestSim = sim
 			bestVal = iv.value
@@ -292,20 +324,26 @@ func Jaccard(a, b string) float64 {
 	if a == b {
 		return 1
 	}
-	return jaccardSets(bigrams(a), bigrams(b))
+	return jaccardSorted(bigrams(a), bigrams(b))
 }
 
-func jaccardSets(sa, sb map[string]bool) float64 {
+// jaccardSorted computes the Jaccard index of two sorted distinct
+// bigram slices by merge intersection.
+func jaccardSorted(sa, sb []string) float64 {
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}
-	if len(sb) < len(sa) {
-		sa, sb = sb, sa
-	}
-	inter := 0
-	for g := range sa {
-		if sb[g] {
+	inter, i, j := 0, 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
 			inter++
+			i++
+			j++
+		case sa[i] < sb[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	union := len(sa) + len(sb) - inter
@@ -315,16 +353,50 @@ func jaccardSets(sa, sb map[string]bool) float64 {
 	return float64(inter) / float64(union)
 }
 
-func bigrams(s string) map[string]bool {
-	out := map[string]bool{}
+// bigramKeys returns the distinct character bigrams of s packed into
+// uint64 keys (hi rune << 32 | lo rune; a single-rune string yields
+// the bare rune, which cannot collide with a pair key because pair
+// keys always carry a non-zero high half).
+func bigramKeys(s string) []uint64 {
 	r := []rune(s)
 	if len(r) == 1 {
-		out[string(r)] = true
+		return []uint64{uint64(uint32(r[0]))}
 	}
+	out := make([]uint64, 0, len(r))
 	for i := 0; i+1 < len(r); i++ {
-		out[string(r[i:i+2])] = true
+		out = append(out, uint64(uint32(r[i]))<<32|uint64(uint32(r[i+1])))
 	}
-	return out
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	w := 0
+	for i, g := range out {
+		if i == 0 || g != out[w-1] {
+			out[w] = g
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// bigrams returns the sorted distinct character bigrams of s (the
+// whole string when it is a single rune).
+func bigrams(s string) []string {
+	r := []rune(s)
+	if len(r) == 1 {
+		return []string{s}
+	}
+	out := make([]string, 0, len(r))
+	for i := 0; i+1 < len(r); i++ {
+		out = append(out, string(r[i:i+2]))
+	}
+	sort.Strings(out)
+	w := 0
+	for i, g := range out {
+		if i == 0 || g != out[w-1] {
+			out[w] = g
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // placeholderName renders TABLE.COL (upper case, no '@').
@@ -412,6 +484,10 @@ type Trace struct {
 	// TierErrors records why each earlier tier failed, in chain order
 	// ("name: reason").
 	TierErrors []string
+	// Cache is the serving layer's result-cache outcome for this
+	// question ("hit", "miss", "coalesced"); empty when no cache is in
+	// front of the translator.
+	Cache string
 }
 
 // String renders the trace as an indented lifecycle report.
@@ -426,6 +502,9 @@ func (t *Trace) String() string {
 	fmt.Fprintf(&b, "model out:  %s\n", strings.Join(t.ModelOut, " "))
 	for _, te := range t.TierErrors {
 		fmt.Fprintf(&b, "  tier err: %s\n", te)
+	}
+	if t.Cache != "" {
+		fmt.Fprintf(&b, "cache:      %s\n", t.Cache)
 	}
 	if t.Tier != "" {
 		fmt.Fprintf(&b, "tier:       %s\n", t.Tier)
@@ -463,19 +542,94 @@ func (tr *Translator) TranslateTrace(question string) (*sqlast.Query, *Trace, er
 // Trace.TierErrors and the next tier is tried; it can never take the
 // process down. The returned error is the primary tier's failure
 // (the most informative one) when every tier fails.
+//
+// It is Preprocess followed by TranslatePrepared; serving layers that
+// cache or batch decodes call those two halves directly.
 func (tr *Translator) TranslateTraceContext(ctx context.Context, question string) (*sqlast.Query, *Trace, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	trace := &Trace{Question: question}
-	anon, err := tr.PH.Anonymize(question)
+	anon, nl, err := tr.Preprocess(question)
 	if err != nil {
 		return nil, trace, err
 	}
 	trace.Anonymized = anon.Tokens
 	trace.Bindings = anon.Bindings
-	nl := lemma.LemmatizeAll(anon.Tokens)
 	trace.Lemmatized = nl
+	q, _, err := tr.TranslatePrepared(ctx, nl, anon.Bindings, nil, trace)
+	return q, trace, err
+}
+
+// Preprocess runs the deterministic pre-model stages alone: the
+// Parameter Handler (constant anonymization) and the Lemmatizer. The
+// returned lemmatized tokens are exactly what the model decodes —
+// and, joined, they are the serving layer's cache key: every constant
+// variation of a question shape canonicalizes to the same nl, so one
+// cached decode answers them all (the bindings in Anonymized carry
+// the per-request constants for post-processing).
+func (tr *Translator) Preprocess(question string) (*Anonymized, []string, error) {
+	anon, err := tr.PH.Anonymize(question)
+	if err != nil {
+		return nil, nil, err
+	}
+	return anon, lemma.LemmatizeAll(anon.Tokens), nil
+}
+
+// SchemaTokens returns the schema serialization fed to the model
+// alongside each question.
+func (tr *Translator) SchemaTokens() []string { return tr.schema }
+
+// DecodeResult is the binding-independent product of one translation:
+// the ranked candidate token sequences a tier decoded for a prepared
+// (anonymized + lemmatized) question, and the tier that produced
+// them. Because constants were anonymized away before decoding, a
+// DecodeResult is shared safely across every request whose question
+// canonicalizes to the same nl — that is what the serving layer's
+// result cache stores. Candidates must be treated as immutable.
+type DecodeResult struct {
+	Tier       string
+	Candidates [][]string
+}
+
+// ErrStaleCandidates reports that a cached DecodeResult passed to
+// TranslatePrepared failed finalization under this request's
+// bindings. The caller should fall back to a fresh decode
+// (TranslatePrepared with a nil primary); the stale entry must not be
+// shared further.
+var ErrStaleCandidates = errors.New("runtime: prepared candidates failed finalization")
+
+// TranslatePrepared is the post-preprocessing half of a translation:
+// given the lemmatized anonymized question and its constant bindings,
+// it walks the degradation chain and finalizes the first tier that
+// yields usable SQL, returning the winning tier's DecodeResult
+// alongside the query so callers can cache it.
+//
+// When primary is non-nil it is a cached DecodeResult for this nl:
+// the model is not consulted at all — the candidates are replayed
+// through finalization with this request's bindings (the cheap,
+// binding-dependent tail of the pipeline). If they no longer finalize
+// the call fails fast with ErrStaleCandidates instead of walking the
+// fallback chain, so the caller can re-decode at full strength rather
+// than silently degrade. The Hook is not consulted on the replay
+// path: breakers meter model decodes, and a replay performs none.
+//
+// trace may be nil when no lifecycle report is wanted.
+func (tr *Translator) TranslatePrepared(ctx context.Context, nl []string, bindings []Binding, primary *DecodeResult, trace *Trace) (*sqlast.Query, *DecodeResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if trace == nil {
+		trace = &Trace{}
+	}
+	if primary != nil {
+		q, err := tr.FinalizeCandidates(primary.Candidates, bindings, trace)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrStaleCandidates, err)
+		}
+		if trace.ModelOut == nil && len(primary.Candidates) > 0 {
+			trace.ModelOut = primary.Candidates[0]
+		}
+		trace.Tier = primary.Tier
+		return q, primary, nil
+	}
 
 	var firstErr error
 	for _, model := range tr.chain() {
@@ -483,7 +637,7 @@ func (tr *Translator) TranslateTraceContext(ctx context.Context, question string
 			if firstErr == nil {
 				firstErr = err
 			}
-			return nil, trace, firstErr
+			return nil, nil, firstErr
 		}
 		name := model.Name()
 		if tr.Hook != nil {
@@ -495,13 +649,13 @@ func (tr *Translator) TranslateTraceContext(ctx context.Context, question string
 				continue
 			}
 		}
-		q, err := tr.tryTier(ctx, model, nl, anon.Bindings, trace)
+		q, candidates, err := tr.tryTier(ctx, model, nl, bindings, trace)
 		if tr.Hook != nil {
 			tr.Hook.Record(name, err)
 		}
 		if err == nil {
 			trace.Tier = name
-			return q, trace, nil
+			return q, &DecodeResult{Tier: name, Candidates: candidates}, nil
 		}
 		trace.TierErrors = append(trace.TierErrors, name+": "+err.Error())
 		if firstErr == nil {
@@ -511,7 +665,7 @@ func (tr *Translator) TranslateTraceContext(ctx context.Context, question string
 	if firstErr == nil {
 		firstErr = fmt.Errorf("runtime: no translator tiers configured")
 	}
-	return nil, trace, firstErr
+	return nil, nil, firstErr
 }
 
 // chain returns the ordered translator tiers: the primary model, then
@@ -529,20 +683,21 @@ func (tr *Translator) chain() []models.Translator {
 	return out
 }
 
-// tryTier runs one translator tier end to end. A panic anywhere in
-// the tier (a misbehaving plug-in model, a pathological candidate) is
-// recovered into an error, and model inference is bounded by both
-// tr.Deadline and ctx's own deadline — the pluggability contract only
-// holds in production if the runtime survives a misbehaving
-// Translator, and a serving layer must be able to bound a whole
-// request with one context.
-func (tr *Translator) tryTier(ctx context.Context, model models.Translator, nl []string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
+// tryTier runs one translator tier end to end: decode, then
+// finalize. A panic anywhere in the tier (a misbehaving plug-in
+// model, a pathological candidate) is recovered into an error, and
+// model inference is bounded by both tr.Deadline and ctx's own
+// deadline — the pluggability contract only holds in production if
+// the runtime survives a misbehaving Translator, and a serving layer
+// must be able to bound a whole request with one context. The decoded
+// candidates are returned even when finalization fails, so the caller
+// controls what is worth caching.
+func (tr *Translator) tryTier(ctx context.Context, model models.Translator, nl []string, bindings []Binding, trace *Trace) (q *sqlast.Query, candidates [][]string, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			q, err = nil, fmt.Errorf("runtime: tier %q panicked: %v", model.Name(), r)
 		}
 	}()
-	var candidates [][]string
 	tctx := ctx
 	if tr.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -551,15 +706,39 @@ func (tr *Translator) tryTier(ctx context.Context, model models.Translator, nl [
 	}
 	if tctx.Done() == nil {
 		// No deadline from either side: run inline, zero overhead.
-		candidates = tr.tierCandidates(model, nl)
-	} else if derr := par.Await(tctx, func() { candidates = tr.tierCandidates(model, nl) }); derr != nil {
-		return nil, fmt.Errorf("runtime: tier %q exceeded its deadline: %w", model.Name(), derr)
+		candidates = tr.tierCandidates(tctx, model, nl)
+	} else if derr := par.Await(tctx, func() { candidates = tr.tierCandidates(tctx, model, nl) }); derr != nil {
+		return nil, nil, fmt.Errorf("runtime: tier %q exceeded its deadline: %w", model.Name(), derr)
 	}
 	if len(candidates) == 0 {
-		return nil, fmt.Errorf("runtime: model %q produced no output", model.Name())
+		return nil, nil, fmt.Errorf("runtime: model %q produced no output", model.Name())
 	}
 	if trace.ModelOut == nil {
 		trace.ModelOut = candidates[0]
+	}
+	q, err = tr.FinalizeCandidates(candidates, bindings, trace)
+	return q, candidates, err
+}
+
+// FinalizeCandidates is the binding-dependent tail of a translation:
+// it walks the ranked candidate token sequences and returns the first
+// that parses, post-processes against this request's bindings, and —
+// when more than one candidate is offered (execution-guided mode) —
+// executes. It is safe to call with candidates decoded for a
+// different request's constants (the result cache's replay path); a
+// panic from a pathological candidate is recovered into an error.
+// trace, when non-nil, receives the winning query in Final.
+func (tr *Translator) FinalizeCandidates(candidates [][]string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q, err = nil, fmt.Errorf("runtime: finalize panicked: %v", r)
+		}
+	}()
+	if trace == nil {
+		trace = &Trace{}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("runtime: no candidates to finalize")
 	}
 	var firstErr error
 	for _, sqlToks := range candidates {
@@ -594,14 +773,21 @@ func (tr *Translator) tryTier(ctx context.Context, model models.Translator, nl [
 
 // tierCandidates returns the ranked outputs of one tier: one (plain
 // mode) or up to ExecutionGuided many when the tier supports
-// alternatives.
-func (tr *Translator) tierCandidates(model models.Translator, nl []string) [][]string {
+// alternatives. Models offering ContextTranslator decode under the
+// tier's deadline context (the serving layer's batching adapter uses
+// this to exit a pending microbatch on cancellation).
+func (tr *Translator) tierCandidates(ctx context.Context, model models.Translator, nl []string) [][]string {
 	if tr.ExecutionGuided > 1 {
 		if kt, ok := model.(KTranslator); ok {
 			return kt.TranslateK(nl, tr.schema, tr.ExecutionGuided)
 		}
 	}
-	out := model.Translate(nl, tr.schema)
+	var out []string
+	if ct, ok := model.(models.ContextTranslator); ok {
+		out = ct.TranslateContext(ctx, nl, tr.schema)
+	} else {
+		out = model.Translate(nl, tr.schema)
+	}
 	if len(out) == 0 {
 		return nil
 	}

@@ -1,0 +1,336 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/models"
+)
+
+// batchOracle answers like the oracle and counts which decode path
+// was used, so tests can prove the batcher really batches.
+type batchOracle struct {
+	single, batched atomic.Int64
+}
+
+func (*batchOracle) Name() string           { return "oracle" }
+func (*batchOracle) Train([]models.Example) {}
+func (m *batchOracle) Translate(nl, st []string) []string {
+	m.single.Add(1)
+	return strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+}
+func (m *batchOracle) TranslateBatch(nls [][]string, st []string) [][]string {
+	m.batched.Add(1)
+	out := make([][]string, len(nls))
+	for i := range nls {
+		out[i] = strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	}
+	return out
+}
+
+// TestCacheServesConstantVariations: the tentpole property end to
+// end — after one decode, every constant variation of the question
+// shape is a cache hit that still carries its own constant in the
+// final SQL, and the model is never consulted again.
+func TestCacheServesConstantVariations(t *testing.T) {
+	model := &batchOracle{}
+	s, ts := newTestServer(t, model, Config{CacheSize: 64})
+
+	var first askResponse
+	if code := getJSON(t, ts.URL+"/ask?q="+urlQuery(goodQuestion), &first); code != http.StatusOK {
+		t.Fatalf("cold ask = %d", code)
+	}
+	if !strings.Contains(first.SQL, "80") {
+		t.Fatalf("cold SQL = %q", first.SQL)
+	}
+	decodes := model.single.Load() + model.batched.Load()
+
+	// Same shape, different constant: must hit, must restore 45.
+	var warm askResponse
+	if code := getJSON(t, ts.URL+"/ask?q="+urlQuery("show the names of all patients with age 45"), &warm); code != http.StatusOK {
+		t.Fatalf("warm ask = %d", code)
+	}
+	if !strings.Contains(warm.SQL, "45") {
+		t.Fatalf("warm SQL must carry the new constant: %q", warm.SQL)
+	}
+	if got := model.single.Load() + model.batched.Load(); got != decodes {
+		t.Fatalf("cache hit still decoded: %d → %d model calls", decodes, got)
+	}
+	st := s.Snapshot()
+	if st.Cache == nil || st.Cache.Hits < 1 || st.Cache.Misses != 1 {
+		t.Fatalf("cache stats = %+v, want 1 miss then hits", st.Cache)
+	}
+}
+
+// TestCacheCoalescesConcurrentMisses: N concurrent requests for one
+// cold key pay exactly one model call (singleflight through the full
+// HTTP stack).
+func TestCacheCoalescesConcurrentMisses(t *testing.T) {
+	model := newBlockModel()
+	s, ts := newTestServer(t, model, Config{CacheSize: 64, Workers: 8, Queue: 16})
+
+	const n = 6
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = getJSON(t, ts.URL+"/ask?q="+urlQuery(goodQuestion), nil)
+		}(i)
+	}
+	// Wait until the leader is inside the model, then let it finish.
+	deadline := time.Now().Add(2 * time.Second)
+	for model.calls.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	model.release()
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d = %d", i, code)
+		}
+	}
+	if got := model.calls.Load(); got != 1 {
+		t.Fatalf("model decoded %d times for %d concurrent identical questions, want 1", got, n)
+	}
+	st := s.Snapshot()
+	if st.Cache.Misses != 1 || st.Cache.Coalesced+st.Cache.Hits != n-1 {
+		t.Fatalf("cache stats = %+v, want 1 miss and %d shared", st.Cache, n-1)
+	}
+}
+
+// TestBatcherFlushFull: the request that fills the batch flushes it,
+// every waiter gets its row, and stats record one full flush.
+func TestBatcherFlushFull(t *testing.T) {
+	model := &batchOracle{}
+	b := NewBatcher(model, []string{"patients"}, BatcherConfig{MaxBatch: 4, MaxWait: time.Hour})
+	// Neutralize the timer: this test must flush on size alone.
+	b.after = func(d time.Duration, f func()) *time.Timer { return time.NewTimer(time.Hour) }
+
+	var wg sync.WaitGroup
+	outs := make([][]string, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], _ = b.Do(context.Background(), []string{"q", fmt.Sprint(i)})
+		}(i)
+	}
+	wg.Wait()
+	for i, out := range outs {
+		if len(out) == 0 {
+			t.Fatalf("row %d got no decode", i)
+		}
+	}
+	if model.batched.Load() != 1 || model.single.Load() != 0 {
+		t.Fatalf("decodes: batched=%d single=%d, want one batched pass", model.batched.Load(), model.single.Load())
+	}
+	st := b.Snapshot()
+	if st.Batches != 1 || st.Items != 4 || st.FlushFull != 1 || st.FlushWait != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanBatch != 4 {
+		t.Fatalf("mean batch = %v, want 4", st.MeanBatch)
+	}
+}
+
+// TestBatcherFlushWait: a partial batch flushes when the injected
+// timer fires, not before.
+func TestBatcherFlushWait(t *testing.T) {
+	model := &batchOracle{}
+	b := NewBatcher(model, []string{"patients"}, BatcherConfig{MaxBatch: 8, MaxWait: time.Hour})
+	fire := make(chan func(), 1)
+	b.after = func(d time.Duration, f func()) *time.Timer {
+		fire <- f
+		return time.NewTimer(time.Hour)
+	}
+
+	done := make(chan []string, 1)
+	go func() {
+		out, _ := b.Do(context.Background(), []string{"q"})
+		done <- out
+	}()
+	flush := <-fire
+	select {
+	case <-done:
+		t.Fatal("partial batch decoded before its timer fired")
+	case <-time.After(10 * time.Millisecond):
+	}
+	flush()
+	if out := <-done; len(out) == 0 {
+		t.Fatal("timer flush produced no decode")
+	}
+	st := b.Snapshot()
+	if st.FlushWait != 1 || st.FlushFull != 0 || st.Items != 1 {
+		t.Fatalf("stats = %+v, want one timer flush", st)
+	}
+}
+
+// TestBatcherCancellation: a request cancelled while queued leaves
+// immediately and the flush decodes only the live slots.
+func TestBatcherCancellation(t *testing.T) {
+	model := &batchOracle{}
+	b := NewBatcher(model, []string{"patients"}, BatcherConfig{MaxBatch: 8, MaxWait: time.Hour})
+	fire := make(chan func(), 1)
+	b.after = func(d time.Duration, f func()) *time.Timer {
+		fire <- f
+		return time.NewTimer(time.Hour)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	gone := make(chan error, 1)
+	go func() {
+		_, err := b.Do(ctx, []string{"dead"})
+		gone <- err
+	}()
+	flush := <-fire
+	live := make(chan []string, 1)
+	go func() {
+		out, _ := b.Do(context.Background(), []string{"alive"})
+		live <- out
+	}()
+	// Wait until the live request has actually joined the batch:
+	// flushing before then would strand it in a new batch whose
+	// neutralized timer never fires.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		joined := b.cur != nil && len(b.cur.items) == 2
+		b.mu.Unlock()
+		if joined {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("live request never joined the batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancel()
+	if err := <-gone; err != context.Canceled {
+		t.Fatalf("cancelled Do = %v, want context.Canceled", err)
+	}
+	flush()
+	if out := <-live; len(out) == 0 {
+		t.Fatal("live batchmate lost its decode")
+	}
+	st := b.Snapshot()
+	if st.Cancelled != 1 || st.Items != 1 {
+		t.Fatalf("stats = %+v, want 1 cancelled + 1 live item", st)
+	}
+	// A pre-cancelled context never joins a batch at all.
+	if _, err := b.Do(ctx, []string{"x"}); err != context.Canceled {
+		t.Fatalf("pre-cancelled Do = %v", err)
+	}
+}
+
+// TestBatcherPanicContained: a panicking model fails every batchmate
+// with an error instead of killing their goroutines.
+func TestBatcherPanicContained(t *testing.T) {
+	b := NewBatcher(panicTranslator{}, []string{"patients"}, BatcherConfig{MaxBatch: 2, MaxWait: time.Hour})
+	b.after = func(d time.Duration, f func()) *time.Timer { return time.NewTimer(time.Hour) }
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Do(context.Background(), []string{"q"})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("batchmate %d err = %v, want contained panic", i, err)
+		}
+	}
+}
+
+// panicTranslator panics on every decode path.
+type panicTranslator struct{}
+
+func (panicTranslator) Name() string           { return "panic" }
+func (panicTranslator) Train([]models.Example) {}
+func (panicTranslator) Translate(nl, st []string) []string {
+	panic("poisoned decode")
+}
+func (panicTranslator) TranslateBatch(nls [][]string, st []string) [][]string {
+	panic("poisoned batch decode")
+}
+
+// TestServerBatchesDistinctQuestions: with the cache deduplicating
+// identical questions, distinct concurrent questions share one
+// batched forward pass through the full server stack.
+func TestServerBatchesDistinctQuestions(t *testing.T) {
+	model := &batchOracle{}
+	s, ts := newTestServer(t, model, Config{
+		CacheSize: 64,
+		BatchMax:  3,
+		BatchWait: 200 * time.Millisecond,
+		Workers:   8,
+		Queue:     16,
+	})
+	// Distinct question *shapes*: constant variations alone would share
+	// an anonymized cache key and coalesce instead of batching.
+	questions := []string{
+		"show the names of all patients with age 80",
+		"show the diagnosis of all patients with age 80",
+		"show the gender of all patients with age 80",
+	}
+	var wg sync.WaitGroup
+	for _, q := range questions {
+		wg.Add(1)
+		go func(q string) {
+			defer wg.Done()
+			var resp askResponse
+			if code := getJSON(t, ts.URL+"/ask?q="+urlQuery(q), &resp); code != http.StatusOK {
+				t.Errorf("ask(%q) = %d", q, code)
+			}
+		}(q)
+	}
+	wg.Wait()
+	st := s.Snapshot()
+	if st.Batcher == nil || st.Batcher.Items == 0 {
+		t.Fatalf("batcher stats = %+v, want recorded items", st.Batcher)
+	}
+	if model.batched.Load() == 0 && st.Batcher.Batches == st.Batcher.Items {
+		t.Logf("note: requests never overlapped; batching degenerated to singletons (stats %+v)", st.Batcher)
+	}
+	if total := st.Batcher.Items; total != 3 {
+		t.Fatalf("batcher carried %d items, want 3 (distinct questions are not coalesced by the cache)", total)
+	}
+	if st.Cache.Misses != 3 {
+		t.Fatalf("cache misses = %d, want 3 distinct keys", st.Cache.Misses)
+	}
+}
+
+// TestTranslateTraceCacheField: /translate reports the cache outcome
+// in its trace-backed response... the Trace.Cache field feeds the
+// tier trace; verify via a direct translate call.
+func TestTranslateTraceCacheField(t *testing.T) {
+	model := &batchOracle{}
+	s, _ := newTestServer(t, model, Config{CacheSize: 64})
+	_, trace, err := s.translate(context.Background(), goodQuestion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Cache != cache.Miss.String() {
+		t.Fatalf("cold trace.Cache = %q, want miss", trace.Cache)
+	}
+	_, trace, err = s.translate(context.Background(), goodQuestion)
+	if err != nil || trace.Cache != cache.Hit.String() {
+		t.Fatalf("warm trace.Cache = %q (err %v), want hit", trace.Cache, err)
+	}
+	if !strings.Contains(trace.String(), "cache:      hit") {
+		t.Fatalf("trace rendering missing cache line:\n%s", trace.String())
+	}
+}

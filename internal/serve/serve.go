@@ -37,9 +37,11 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/par"
 	"repro/internal/runtime"
 	"repro/internal/sqlast"
@@ -63,6 +65,19 @@ type Config struct {
 	// DisableBreakers to run without them.
 	Breaker         BreakerConfig
 	DisableBreakers bool
+	// CacheSize enables the anonymization-keyed result cache with this
+	// many entries (0 = no cache). Keys are the lemmatized anonymized
+	// question, so every constant variation of a query shape shares
+	// one cached decode; CacheShards optionally overrides the shard
+	// count (0 = the cache package default).
+	CacheSize   int
+	CacheShards int
+	// BatchMax enables cross-request microbatching when >= 2: up to
+	// BatchMax concurrent cache-missing decodes share one batched
+	// forward pass, with partial batches flushed after BatchWait
+	// (0 = the batcher default, 2ms). 0 or 1 disables batching.
+	BatchMax  int
+	BatchWait time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +102,8 @@ type Server struct {
 	cfg      Config
 	limiter  *par.Limiter
 	breakers *TierBreakers
+	cache    *cache.Cache[*runtime.DecodeResult]
+	batcher  *Batcher
 	stats    *counters
 	mux      *http.ServeMux
 	http     *http.Server
@@ -111,6 +128,22 @@ func New(tr *runtime.Translator, cfg Config) *Server {
 	if !cfg.DisableBreakers {
 		s.breakers = NewTierBreakers(cfg.Breaker)
 		tr.Hook = s.breakers
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = cache.New[*runtime.DecodeResult](cache.Config{
+			Capacity: cfg.CacheSize,
+			Shards:   cfg.CacheShards,
+		})
+	}
+	if cfg.BatchMax >= 2 && tr.Model != nil {
+		// The primary model decodes through the microbatcher; wrapping
+		// it keeps the tier chain (breakers, deadlines, fallbacks)
+		// oblivious to batching.
+		s.batcher = NewBatcher(tr.Model, tr.SchemaTokens(), BatcherConfig{
+			MaxBatch: cfg.BatchMax,
+			MaxWait:  cfg.BatchWait,
+		})
+		tr.Model = batchingModel{inner: tr.Model, b: s.batcher}
 	}
 	s.mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) { s.answer(w, r, true) })
 	s.mux.HandleFunc("/translate", func(w http.ResponseWriter, r *http.Request) { s.answer(w, r, false) })
@@ -170,6 +203,14 @@ func (s *Server) Snapshot() Stats {
 	}
 	if s.breakers != nil {
 		st.Breakers = s.breakers.States()
+	}
+	if s.cache != nil {
+		cs := s.cache.Snapshot()
+		st.Cache = &cs
+	}
+	if s.batcher != nil {
+		bs := s.batcher.Snapshot()
+		st.Batcher = &bs
 	}
 	return st
 }
@@ -255,7 +296,7 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
 	)
 	retries, terr := s.cfg.Retry.Do(ctx, s.reqSeq.Add(1), retryable, func() error {
 		var ferr error
-		q, trace, ferr = s.tr.TranslateTraceContext(ctx, req.Question)
+		q, trace, ferr = s.translate(ctx, req.Question)
 		return ferr
 	})
 	s.stats.retries.Add(int64(retries))
@@ -298,6 +339,55 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
 	s.stats.answeredBy(trace.Tier)
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, resp)
+}
+
+// translate runs one question through the inference hot path. With no
+// cache configured it is exactly the translator's one-shot entry
+// point (batching, when on, already lives inside the primary model).
+// With a cache, the pipeline splits: the deterministic pre-processing
+// runs first, its lemmatized anonymized output keys the result cache,
+// and only a leader that misses pays a decode — concurrent misses for
+// the same key coalesce onto that one decode, and each request then
+// finalizes the shared binding-independent candidates under its own
+// constants. A cached decode that no longer finalizes for this
+// request's bindings falls back to one fresh full-strength decode
+// rather than failing the request.
+func (s *Server) translate(ctx context.Context, question string) (*sqlast.Query, *runtime.Trace, error) {
+	if s.cache == nil {
+		return s.tr.TranslateTraceContext(ctx, question)
+	}
+	trace := &runtime.Trace{Question: question}
+	anon, nl, err := s.tr.Preprocess(question)
+	if err != nil {
+		return nil, trace, err
+	}
+	trace.Anonymized = anon.Tokens
+	trace.Bindings = anon.Bindings
+	trace.Lemmatized = nl
+
+	// The leader finalizes inside the loader (its decode and bindings
+	// belong to the same request); leaderQ carries that answer past
+	// the cache, which only stores the binding-independent decode.
+	var leaderQ *sqlast.Query
+	dec, outcome, err := s.cache.Do(ctx, strings.Join(nl, " "), func(lctx context.Context) (*runtime.DecodeResult, error) {
+		q, d, lerr := s.tr.TranslatePrepared(lctx, nl, anon.Bindings, nil, trace)
+		leaderQ = q
+		return d, lerr
+	})
+	trace.Cache = outcome.String()
+	if err != nil {
+		return nil, trace, err
+	}
+	if outcome == cache.Miss && leaderQ != nil {
+		return leaderQ, trace, nil
+	}
+	q, _, ferr := s.tr.TranslatePrepared(ctx, nl, anon.Bindings, dec, trace)
+	if ferr == nil {
+		return q, trace, nil
+	}
+	// Stale for these bindings: re-decode at full strength.
+	q, _, err = s.tr.TranslatePrepared(ctx, nl, anon.Bindings, nil, trace)
+	return q, trace, err
 }
 
 // recordFailure bumps the failure counter for the kind.

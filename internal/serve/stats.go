@@ -4,6 +4,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cache"
 )
 
 // Stats is the /statsz snapshot: queue and concurrency occupancy,
@@ -30,6 +32,10 @@ type Stats struct {
 	// (Trace.Tier); Breakers names each tier breaker's state.
 	Tiers    map[string]int64  `json:"tiers"`
 	Breakers map[string]string `json:"breakers"`
+	// Cache and Batcher describe the inference hot path; absent when
+	// the corresponding feature is off.
+	Cache   *cache.Stats  `json:"cache,omitempty"`
+	Batcher *BatcherStats `json:"batcher,omitempty"`
 }
 
 // counters aggregates the server's mutable telemetry. Counter fields
