@@ -17,8 +17,8 @@ import (
 	"time"
 
 	dbpal "repro"
+	"repro/internal/boot"
 	"repro/internal/eval"
-	"repro/internal/models"
 	"repro/internal/patients"
 )
 
@@ -39,44 +39,31 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Model construction goes through the shared boot path: -load reads
+	// saved weights, -train runs the full bootstrap (the same steps
+	// dbpal and dbpal-serve use).
 	var model dbpal.Translator
 	switch {
 	case *loadPath != "":
-		f, err := os.Open(*loadPath)
+		m, err := boot.LoadModel(*modelKind, *loadPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *modelKind == "seq2seq" {
-			model, err = models.LoadSeq2Seq(f)
-		} else {
-			model, err = models.LoadSketch(f)
-		}
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		model = m
 	case *train:
-		s := patients.Schema()
 		t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
-		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
-		fmt.Printf("synthesized %d pairs\n", len(pairs))
-		if *modelKind == "seq2seq" {
-			cfg := dbpal.DefaultSeq2SeqConfig()
-			cfg.Seed = *seed
-			m := dbpal.NewSeq2Seq(cfg)
-			m.Train(dbpal.TrainingExamples(pairs, s))
-			model = m
-		} else {
-			cfg := dbpal.DefaultSketchConfig()
-			cfg.Seed = *seed
-			m := dbpal.NewSketch(cfg)
-			m.Train(dbpal.TrainingExamples(pairs, s))
-			model = m
+		u, err := boot.Build(ctx, boot.Spec{
+			Schema: "patients", Model: *modelKind, Seed: *seed,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		model = u.Model
 		fmt.Printf("trained in %s\n", time.Since(t0).Round(time.Millisecond))
 	default:
 		fmt.Fprintln(os.Stderr, "pass -load <file> or -train")

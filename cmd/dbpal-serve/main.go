@@ -1,18 +1,29 @@
-// Command dbpal-serve exposes a bootstrapped DBPal model over HTTP
-// behind the hardened serving layer (internal/serve): admission
-// control with bounded queueing, per-request deadlines, per-tier
-// circuit breakers, seeded retry backoff, graceful drain, and the
-// inference hot path: an anonymization-keyed result cache and
-// cross-request microbatched decode (-cache-size, -batch-max,
-// -batch-wait).
+// Command dbpal-serve exposes bootstrapped DBPal models over HTTP
+// behind the hardened multi-tenant serving layer (internal/serve):
+// per-tenant admission control with bounded queueing, per-request
+// deadlines, per-tier circuit breakers, seeded retry backoff, graceful
+// drain, and the inference hot path: an anonymization-keyed result
+// cache and cross-request microbatched decode (-cache-size,
+// -batch-max, -batch-wait).
 //
-//	dbpal-serve -schema patients -model nn -addr :8080
-//	curl 'localhost:8080/ask?q=show+the+names+of+all+patients+with+age+80'
+//	dbpal-serve -schema patients,flights -model nn -addr :8080
+//	curl 'localhost:8080/v1/flights/ask?q=show+the+names+of+all+airlines'
+//	curl -X POST localhost:8080/schemas -d '{"schema":"college","model":"nn"}'
 //
-// Endpoints: /ask (translate + execute), /translate (translate only),
-// /healthz, /readyz, /statsz. SIGINT/SIGTERM drain: /readyz flips to
-// 503, in-flight requests finish under -drain, then the process exits
-// 0.
+// -schema takes a comma-separated list; every named schema boots
+// before the listener opens, and the first is the default tenant for
+// the legacy un-prefixed routes. More schemas onboard at runtime
+// through POST /schemas — generate→train→eval→swap in the background,
+// with progress at GET /schemas/{name} — gated by -min-accuracy and
+// restartable from -checkpoint-dir.
+//
+// Endpoints: /v1/{schema}/ask (translate + execute), /v1/{schema}/
+// translate, the legacy /ask and /translate (?schema= selects a
+// tenant), /schemas (GET list, POST onboard), /schemas/{name} (GET
+// status, DELETE), /healthz, /readyz, /statsz. SIGINT/SIGTERM drain:
+// /readyz flips to 503, onboarding is cancelled (its checkpoint
+// survives for the next run), in-flight requests finish under -drain,
+// then the process exits 0.
 //
 // Use -model nn for the instant-start template nearest-neighbor
 // translator (no neural training), or sketch/seq2seq as in dbpal,
@@ -31,27 +42,23 @@ import (
 	"syscall"
 	"time"
 
-	dbpal "repro"
-	"repro/internal/engine"
-	"repro/internal/models"
-	"repro/internal/patients"
+	"repro/internal/boot"
 	"repro/internal/serve"
-	"repro/internal/spider"
 )
 
 func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
-		schemaName = flag.String("schema", "patients", "schema: patients | flights | college | geo | ...")
+		schemas    = flag.String("schema", "patients", "comma-separated schemas to boot: patients | flights | ... | synth:<seed>")
 		modelKind  = flag.String("model", "sketch", "translator: sketch | seq2seq | nn")
-		loadPath   = flag.String("load", "", "load model weights saved by dbpal-train instead of training")
+		loadPath   = flag.String("load", "", "load model weights saved by dbpal-train instead of training (single-schema only)")
 		seed       = flag.Int64("seed", 1, "pipeline, training, and retry-jitter seed")
 		rows       = flag.Int("rows", 40, "synthetic rows per table for non-patients schemas")
 		execGuided = flag.Int("execguided", 1, "try up to N ranked candidates, keeping the first that executes")
 		deadline   = flag.Duration("deadline", 0, "per-question inference deadline per tier (0 = none)")
 		fallback   = flag.Bool("fallback", true, "degrade to a template nearest-neighbor tier when the primary model fails")
 
-		workers  = flag.Int("workers", 0, "max concurrent translations (0 = NumCPU)")
+		workers  = flag.Int("workers", 0, "max concurrent translations per tenant (0 = NumCPU)")
 		queue    = flag.Int("queue", 0, "waiting-room size before shedding (0 = 2x workers)")
 		timeout  = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 		drain    = flag.Duration("drain", 15*time.Second, "max wait for in-flight requests on shutdown")
@@ -59,18 +66,25 @@ func main() {
 		breakers = flag.Bool("breakers", true, "run a circuit breaker per translator tier")
 		cooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before the half-open probe")
 
-		cacheSize = flag.Int("cache-size", 1024, "anonymization-keyed result cache entries (0 = no cache)")
+		cacheSize = flag.Int("cache-size", 1024, "anonymization-keyed result cache entries per model version (0 = no cache)")
 		batchMax  = flag.Int("batch-max", 8, "microbatch size: concurrent decodes share one batched forward pass (0 or 1 = no batching)")
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial microbatch waits before flushing")
+
+		minAcc    = flag.Float64("min-accuracy", 0, "onboarding eval gate: reject candidate models scoring below this (0 = no gate)")
+		evalQs    = flag.Int("eval-questions", 0, "onboarding eval workload size (0 = default, negative = skip eval)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for restartable onboarding checkpoints (empty = not restartable)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "optimizer steps between onboarding checkpoints (0 = default)")
 	)
 	flag.Parse()
 
 	if err := run(config{
-		addr: *addr, schemaName: *schemaName, modelKind: *modelKind, loadPath: *loadPath,
+		addr: *addr, schemas: strings.Split(*schemas, ","), modelKind: *modelKind, loadPath: *loadPath,
 		seed: *seed, rows: *rows, execGuided: *execGuided, deadline: *deadline, fallback: *fallback,
 		workers: *workers, queue: *queue, timeout: *timeout, drain: *drain,
 		retries: *retries, breakers: *breakers, cooldown: *cooldown,
 		cacheSize: *cacheSize, batchMax: *batchMax, batchWait: *batchWait,
+		minAccuracy: *minAcc, evalQuestions: *evalQs,
+		checkpointDir: *ckptDir, checkpointEvery: *ckptEvery,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -78,63 +92,62 @@ func main() {
 }
 
 type config struct {
-	addr, schemaName, modelKind, loadPath string
-	seed                                  int64
-	rows, execGuided                      int
-	deadline                              time.Duration
-	fallback                              bool
-	workers, queue                        int
-	timeout, drain                        time.Duration
-	retries                               int
-	breakers                              bool
-	cooldown                              time.Duration
-	cacheSize, batchMax                   int
-	batchWait                             time.Duration
+	addr                string
+	schemas             []string
+	modelKind, loadPath string
+	seed                int64
+	rows, execGuided    int
+	deadline            time.Duration
+	fallback            bool
+	workers, queue      int
+	timeout, drain      time.Duration
+	retries             int
+	breakers            bool
+	cooldown            time.Duration
+	cacheSize, batchMax int
+	batchWait           time.Duration
+	minAccuracy         float64
+	evalQuestions       int
+	checkpointDir       string
+	checkpointEvery     int
 }
 
 func run(cfg config) error {
-	s, db, err := resolveSchema(cfg.schemaName, cfg.rows, cfg.seed)
-	if err != nil {
-		return err
+	if cfg.loadPath != "" && len(cfg.schemas) > 1 {
+		return fmt.Errorf("-load applies to a single schema; got %d", len(cfg.schemas))
 	}
 
-	// The synthesized corpus trains the primary model (unless loaded
-	// from disk) and the nearest-neighbor tier.
-	var exs []dbpal.Example
-	if cfg.loadPath == "" || cfg.fallback || cfg.modelKind == "nn" {
-		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), cfg.seed)
-		fmt.Printf("pipeline synthesized %d NL-SQL pairs\n", len(pairs))
-		exs = dbpal.TrainingExamples(pairs, s)
-	}
-
-	var model dbpal.Translator
-	switch {
-	case cfg.modelKind == "nn":
-		nn := models.NewNearestNeighbor()
-		nn.Train(exs)
-		model = nn
-	case cfg.loadPath != "":
-		model, err = loadModel(cfg.modelKind, cfg.loadPath)
-		if err != nil {
-			return err
+	// Boot every named schema before the listener opens: each is a
+	// self-contained tenant unit built through the shared path.
+	var units []*boot.Unit
+	for _, name := range cfg.schemas {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
 		}
-		fmt.Printf("loaded %s model from %s\n", cfg.modelKind, cfg.loadPath)
-	default:
-		fmt.Printf("bootstrapping DBPal for schema %q (%s model)...\n", s.Name, cfg.modelKind)
-		model = newModel(cfg.modelKind, cfg.seed)
-		model.Train(exs)
+		u, err := boot.Build(context.Background(), boot.Spec{
+			Schema:     name,
+			Model:      cfg.modelKind,
+			LoadPath:   cfg.loadPath,
+			Seed:       cfg.seed,
+			Rows:       cfg.rows,
+			ExecGuided: cfg.execGuided,
+			Deadline:   cfg.deadline,
+			Fallback:   cfg.fallback,
+			Logf: func(format string, args ...any) {
+				fmt.Printf(format+"\n", args...)
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("booting %s: %w", name, err)
+		}
+		units = append(units, u)
+	}
+	if len(units) == 0 {
+		return fmt.Errorf("no schemas to serve")
 	}
 
-	nli := dbpal.NewInterface(db, model)
-	nli.ExecutionGuided = cfg.execGuided
-	nli.Deadline = cfg.deadline
-	if cfg.fallback && cfg.modelKind != "nn" {
-		nn := models.NewNearestNeighbor()
-		nn.Train(exs)
-		nli.Fallbacks = []dbpal.Translator{nn}
-	}
-
-	srv := serve.New(nli, serve.Config{
+	srv := serve.NewMulti(units, serve.Config{
 		Workers: cfg.workers,
 		Queue:   cfg.queue,
 		Timeout: cfg.timeout,
@@ -147,6 +160,13 @@ func run(cfg config) error {
 		CacheSize:       cfg.cacheSize,
 		BatchMax:        cfg.batchMax,
 		BatchWait:       cfg.batchWait,
+		MinAccuracy:     cfg.minAccuracy,
+		EvalQuestions:   cfg.evalQuestions,
+		CheckpointDir:   cfg.checkpointDir,
+		CheckpointEvery: cfg.checkpointEvery,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
 	})
 
 	ln, err := net.Listen("tcp", cfg.addr)
@@ -154,8 +174,12 @@ func run(cfg config) error {
 		return err
 	}
 	errc := srv.Start(ln)
-	fmt.Printf("serving schema %q on http://%s (/ask /translate /healthz /readyz /statsz)\n",
-		s.Name, ln.Addr())
+	var names []string
+	for _, u := range units {
+		names = append(names, u.Schema.Name)
+	}
+	fmt.Printf("serving schemas [%s] on http://%s (/v1/{schema}/ask /schemas /healthz /readyz /statsz)\n",
+		strings.Join(names, " "), ln.Addr())
 
 	// SIGINT/SIGTERM start the drain; a second deadline bounds it.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -178,60 +202,4 @@ func run(cfg config) error {
 	}
 	fmt.Println("drained; bye")
 	return nil
-}
-
-func resolveSchema(name string, rows int, seed int64) (*dbpal.Schema, *dbpal.Database, error) {
-	if name == "patients" {
-		db, err := patients.Database()
-		if err != nil {
-			return nil, nil, err
-		}
-		return patients.Schema(), db, nil
-	}
-	s := spider.SchemaByName(name)
-	if s == nil {
-		var names []string
-		for _, z := range spider.AllSchemas() {
-			names = append(names, z.Name)
-		}
-		return nil, nil, fmt.Errorf("unknown schema %q; available: patients, %s", name, strings.Join(names, ", "))
-	}
-	db, err := engine.GenerateData(s, rows, seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	return s, db, nil
-}
-
-func newModel(kind string, seed int64) dbpal.Translator {
-	switch kind {
-	case "seq2seq":
-		cfg := dbpal.DefaultSeq2SeqConfig()
-		cfg.Seed = seed
-		return dbpal.NewSeq2Seq(cfg)
-	default:
-		cfg := dbpal.DefaultSketchConfig()
-		cfg.Seed = seed
-		return dbpal.NewSketch(cfg)
-	}
-}
-
-func loadModel(kind, path string) (dbpal.Translator, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	var m dbpal.Translator
-	if kind == "seq2seq" {
-		m, err = models.LoadSeq2Seq(f)
-	} else {
-		m, err = models.LoadSketch(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	return m, nil
 }

@@ -7,10 +7,12 @@
 //	dbpal -schema patients
 //	> show the names of all patients with age 80
 //
-// Schemas: "patients" (the paper's benchmark database) or any schema
-// of the synthetic Spider zoo (flights, college, geo, ...). Use -model
-// to pick the translator architecture and -load to reuse weights saved
-// by dbpal-train.
+// Schemas: "patients" (the paper's benchmark database), any schema of
+// the synthetic Spider zoo (flights, college, geo, ...), or
+// "synth:<seed>" for a generated cross-domain schema. Use -model to
+// pick the translator architecture and -load to reuse weights saved by
+// dbpal-train. The whole construction path is shared with dbpal-serve
+// and dbpal-eval through internal/boot.
 package main
 
 import (
@@ -24,16 +26,12 @@ import (
 	"syscall"
 	"time"
 
-	dbpal "repro"
-	"repro/internal/engine"
-	"repro/internal/models"
-	"repro/internal/patients"
-	"repro/internal/spider"
+	"repro/internal/boot"
 )
 
 func main() {
 	var (
-		schemaName = flag.String("schema", "patients", "schema: patients | flights | college | geo | ...")
+		schemaName = flag.String("schema", "patients", "schema: patients | flights | college | geo | ... | synth:<seed>")
 		modelKind  = flag.String("model", "sketch", "translator: sketch | seq2seq")
 		loadPath   = flag.String("load", "", "load model weights saved by dbpal-train instead of training")
 		seed       = flag.Int64("seed", 1, "pipeline and training seed")
@@ -49,46 +47,29 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	s, db, err := resolveSchema(*schemaName, *rows, *seed)
+	t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
+	u, err := boot.Build(ctx, boot.Spec{
+		Schema:     *schemaName,
+		Model:      *modelKind,
+		LoadPath:   *loadPath,
+		Seed:       *seed,
+		Rows:       *rows,
+		ExecGuided: *execGuided,
+		Deadline:   *deadline,
+		Fallback:   *fallback,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-
-	// The training corpus also feeds the nearest-neighbor fallback
-	// tier, so it is synthesized even when the primary model's weights
-	// are loaded from disk.
-	var exs []dbpal.Example
-	if *loadPath == "" || *fallback {
-		pairs := dbpal.GenerateTrainingData(s, dbpal.DefaultParams(), *seed)
-		fmt.Printf("pipeline synthesized %d NL-SQL pairs\n", len(pairs))
-		exs = dbpal.TrainingExamples(pairs, s)
-	}
-
-	var model dbpal.Translator
-	if *loadPath != "" {
-		model, err = loadModel(*modelKind, *loadPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Printf("loaded %s model from %s\n", *modelKind, *loadPath)
-	} else {
-		fmt.Printf("bootstrapping DBPal for schema %q (%s model)...\n", s.Name, *modelKind)
-		t0 := time.Now() //lint:allow determinism wall-clock timing is progress reporting only
-		model = newModel(*modelKind, *seed)
-		model.Train(exs)
+	if *loadPath == "" {
 		fmt.Printf("  trained in %s\n", time.Since(t0).Round(time.Millisecond))
 	}
 
-	nli := dbpal.NewInterface(db, model)
-	nli.ExecutionGuided = *execGuided
-	nli.Deadline = *deadline
-	if *fallback {
-		nn := models.NewNearestNeighbor()
-		nn.Train(exs)
-		nli.Fallbacks = []dbpal.Translator{nn}
-	}
+	nli := u.Translator
 	fmt.Println("type a question (empty line or ctrl-d to quit):")
 	sc := bufio.NewScanner(os.Stdin)
 	for ctx.Err() == nil {
@@ -125,62 +106,6 @@ func main() {
 	if ctx.Err() != nil {
 		fmt.Println("\ninterrupted")
 	}
-}
-
-func resolveSchema(name string, rows int, seed int64) (*dbpal.Schema, *dbpal.Database, error) {
-	if name == "patients" {
-		db, err := patients.Database()
-		if err != nil {
-			return nil, nil, err
-		}
-		return patients.Schema(), db, nil
-	}
-	s := spider.SchemaByName(name)
-	if s == nil {
-		var names []string
-		for _, z := range spider.AllSchemas() {
-			names = append(names, z.Name)
-		}
-		return nil, nil, fmt.Errorf("unknown schema %q; available: patients, %s", name, strings.Join(names, ", "))
-	}
-	db, err := engine.GenerateData(s, rows, seed)
-	if err != nil {
-		return nil, nil, err
-	}
-	return s, db, nil
-}
-
-func newModel(kind string, seed int64) dbpal.Translator {
-	switch kind {
-	case "seq2seq":
-		cfg := dbpal.DefaultSeq2SeqConfig()
-		cfg.Seed = seed
-		return dbpal.NewSeq2Seq(cfg)
-	default:
-		cfg := dbpal.DefaultSketchConfig()
-		cfg.Seed = seed
-		return dbpal.NewSketch(cfg)
-	}
-}
-
-func loadModel(kind, path string) (dbpal.Translator, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	var m dbpal.Translator
-	if kind == "seq2seq" {
-		m, err = models.LoadSeq2Seq(f)
-	} else {
-		m, err = models.LoadSketch(f)
-	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
-		return nil, err
-	}
-	return m, nil
 }
 
 func indent(s, prefix string) string {

@@ -80,3 +80,29 @@ func Middleware(next http.Handler) http.Handler {
 		next.ServeHTTP(w, r)
 	})
 }
+
+// --- Multi-tenant registry shapes: background onboarding runs for
+// minutes beside live serving, so every exported entry point that can
+// be cancelled mid-build must lead with its context.
+
+type onboardSpec struct{ schema string }
+
+type tenantRegistry struct{}
+
+// Onboard is the clean shape: the cancellation scope comes first, the
+// spec after.
+func (tenantRegistry) Onboard(ctx context.Context, spec onboardSpec) error {
+	_ = spec
+	return ctx.Err()
+}
+
+// OnboardBuried hides the context behind the spec; callers reading the
+// signature miss that the build is cancellable.
+func (tenantRegistry) OnboardBuried(spec onboardSpec, ctx context.Context) error { // want `context must come first`
+	_ = spec
+	return ctx.Err()
+}
+
+// SwapVersion takes no context at all: the atomic slot swap is
+// instantaneous and must not block, so there is nothing to cancel.
+func (tenantRegistry) SwapVersion(seq int) int { return seq }

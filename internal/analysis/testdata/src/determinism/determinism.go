@@ -77,3 +77,52 @@ func (b *batcher) wallDeadline(wait time.Duration) time.Time {
 func (b *batcher) jitter(wait time.Duration) time.Duration {
 	return wait + time.Duration(rand.Int63n(int64(wait))) // want `rand\.Int63n draws from the global RNG`
 }
+
+// --- Multi-tenant registry shapes (versioned model slots, background
+// onboarding): slot swaps and version bookkeeping must be driven by
+// counters and seeds threaded from the spec, never the wall clock or
+// the global RNG, so a killed onboarding resumes bit-identically and
+// chaos runs replay.
+
+type slotVersion struct {
+	seq         int
+	installedAt time.Time
+}
+
+type tenantSlot struct {
+	nextSeq int
+}
+
+// Counter-derived sequence numbers are the clean shape: the version
+// ordering is a pure function of install order.
+func (t *tenantSlot) nextVersion() *slotVersion {
+	t.nextSeq++
+	return &slotVersion{seq: t.nextSeq}
+}
+
+// Stamping the swap with the wall clock couples version identity to
+// scheduling; replays produce different versions.
+func (t *tenantSlot) nextVersionStamped() *slotVersion {
+	t.nextSeq++
+	return &slotVersion{
+		seq:         t.nextSeq,
+		installedAt: time.Now(), // want `time\.Now reads the wall clock`
+	}
+}
+
+// Drawing a version tag from the global RNG makes two onboardings of
+// the same spec produce different registries.
+func versionTag() int {
+	return rand.Int() // want `rand\.Int draws from the global RNG`
+}
+
+// The onboarding eval workload must derive from the spec seed, not a
+// fresh clock seed, or the eval gate scores a different workload on
+// every resume.
+func evalWorkloadSeed(specSeed int64) rand.Source {
+	return rand.NewSource(specSeed + 1789)
+}
+
+func evalWorkloadSeedClocked() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/patients"
 	"repro/internal/runtime"
+	"repro/internal/schema"
 	"repro/internal/spider"
 	"repro/internal/sqlast"
 	"repro/internal/tokens"
@@ -92,10 +93,6 @@ func EvalSpiderWorkers(tr models.Translator, qs []spider.Question, workers int) 
 // par.MapCtx dispatches questions in index order, so the evaluated
 // set is always a prefix and the partial report is deterministic.
 func EvalSpiderCtx(ctx context.Context, tr models.Translator, qs []spider.Question, workers int) (*SpiderReport, error) {
-	rep := &SpiderReport{ByDifficulty: map[sqlast.Difficulty]*Frac{}}
-	for _, d := range sqlast.Difficulties {
-		rep.ByDifficulty[d] = &Frac{}
-	}
 	// Schema-token contexts are built up front so the workers share a
 	// read-only map.
 	schemaToks := map[string][]string{}
@@ -103,6 +100,25 @@ func EvalSpiderCtx(ctx context.Context, tr models.Translator, qs []spider.Questi
 		if _, ok := schemaToks[q.Schema]; !ok {
 			schemaToks[q.Schema] = models.SchemaTokens(spider.SchemaByName(q.Schema))
 		}
+	}
+	return evalQuestions(ctx, tr, schemaToks, qs, workers)
+}
+
+// EvalSchemaCtx scores a translator on questions over one explicit
+// schema — unlike EvalSpiderCtx it does not look the schema up in the
+// zoo, so it works for generated tenant schemas too. It is the
+// registry's onboarding eval gate.
+func EvalSchemaCtx(ctx context.Context, tr models.Translator, s *schema.Schema, qs []spider.Question, workers int) (*SpiderReport, error) {
+	schemaToks := map[string][]string{s.Name: models.SchemaTokens(s)}
+	return evalQuestions(ctx, tr, schemaToks, qs, workers)
+}
+
+// evalQuestions is the shared exact-match scoring loop behind
+// EvalSpiderCtx and EvalSchemaCtx.
+func evalQuestions(ctx context.Context, tr models.Translator, schemaToks map[string][]string, qs []spider.Question, workers int) (*SpiderReport, error) {
+	rep := &SpiderReport{ByDifficulty: map[sqlast.Difficulty]*Frac{}}
+	for _, d := range sqlast.Difficulties {
+		rep.ByDifficulty[d] = &Frac{}
 	}
 	rep.Results = make([]SpiderResult, len(qs))
 	done := make([]bool, len(qs))

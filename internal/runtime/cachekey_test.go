@@ -1,0 +1,48 @@
+package runtime
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/schema"
+	"repro/internal/spider"
+)
+
+// TestCacheKeyQualifiedBySchema is the cross-tenant cache-poisoning
+// regression test at the runtime layer: the cache key for the very
+// same lemmatized question must differ across schemas (a multi-tenant
+// server keying a shared cache on NL alone would serve tenant A's SQL
+// to tenant B), must be stable for one schema, and must vary with the
+// question.
+func TestCacheKeyQualifiedBySchema(t *testing.T) {
+	mk := func(s *schema.Schema) *Translator {
+		db, err := engine.GenerateData(s, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewTranslator(db, oracleModel{})
+	}
+	trA := mk(spider.GenerateSchema(1))
+	trB := mk(spider.GenerateSchema(2))
+
+	nl := strings.Fields("show the name of all entries")
+	if trA.CacheKey(nl) == trB.CacheKey(nl) {
+		t.Fatalf("identical keys across schemas: %q", trA.CacheKey(nl))
+	}
+	if trA.CacheKey(nl) != trA.CacheKey(nl) {
+		t.Fatal("key not deterministic for one schema")
+	}
+	if trA.CacheKey(nl) == trA.CacheKey(strings.Fields("count all entries")) {
+		t.Fatal("distinct questions share a key")
+	}
+	if !strings.HasPrefix(trA.CacheKey(nl), trA.DB.Schema.Name) {
+		t.Fatalf("key %q does not carry the schema name", trA.CacheKey(nl))
+	}
+	// The separator keeps the (schema, question) encoding injective:
+	// no crafted question token can collide with another schema's
+	// namespace.
+	if trA.CacheKey(nl) == trA.DB.Schema.Name+" "+strings.Join(nl, " ") {
+		t.Fatal("key must not be a plain space join — that is forgeable by question tokens")
+	}
+}

@@ -577,6 +577,17 @@ func (tr *Translator) Preprocess(question string) (*Anonymized, []string, error)
 // alongside each question.
 func (tr *Translator) SchemaTokens() []string { return tr.schema }
 
+// CacheKey derives the result-cache key for a preprocessed question:
+// the owning schema's name joined to the lemmatized anonymized tokens
+// under an unprintable separator. The tokens alone are not a safe key
+// once a process hosts many tenants — two schemas can anonymize
+// lexically identical questions to the same token sequence, and a
+// shared key would cross-serve one tenant's decoded candidates to the
+// other — so the schema name makes keys disjoint per tenant.
+func (tr *Translator) CacheKey(nl []string) string {
+	return tr.DB.Schema.Name + "\x1f" + strings.Join(nl, " ")
+}
+
 // DecodeResult is the binding-independent product of one translation:
 // the ranked candidate token sequences a tier decoded for a prepared
 // (anonymized + lemmatized) question, and the tier that produced

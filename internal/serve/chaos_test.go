@@ -215,10 +215,12 @@ func TestOpenBreakerSkipsSlowTierWithoutPayingDeadline(t *testing.T) {
 	}})
 
 	// Trip the primary's breaker directly (deterministic setup: no
-	// request ever has to wait out the hanging tier).
-	s.breakers.Record("block", errTier)
-	s.breakers.Record("block", errTier)
-	if st := s.breakers.States()["block"]; st != "open" {
+	// request ever has to wait out the hanging tier). Breakers live on
+	// the serving version now, so reach them through its equipment.
+	brk := versionEquipment(s.defaultVersion()).breakers
+	brk.Record("block", errTier)
+	brk.Record("block", errTier)
+	if st := brk.States()["block"]; st != "open" {
 		t.Fatalf("setup: breaker = %q, want open", st)
 	}
 

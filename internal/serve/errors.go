@@ -38,6 +38,12 @@ const (
 	// KindInternal: everything else (execution failure on translated
 	// SQL, encoding problems).
 	KindInternal ErrorKind = "internal"
+	// KindNotFound: the request names a schema no tenant serves (or a
+	// route that does not exist under /v1/).
+	KindNotFound ErrorKind = "unknown_schema"
+	// KindOnboarding: the tenant exists but its first model is still
+	// building; retry once GET /schemas/{name} reports ready.
+	KindOnboarding ErrorKind = "onboarding"
 )
 
 // HTTPStatus maps the kind to its response status code.
@@ -51,8 +57,10 @@ func (k ErrorKind) HTTPStatus() int {
 		return http.StatusGatewayTimeout
 	case KindTierExhausted:
 		return http.StatusBadGateway
-	case KindDraining:
+	case KindDraining, KindOnboarding:
 		return http.StatusServiceUnavailable
+	case KindNotFound:
+		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
 }

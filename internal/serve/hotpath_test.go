@@ -319,14 +319,14 @@ func TestServerBatchesDistinctQuestions(t *testing.T) {
 func TestTranslateTraceCacheField(t *testing.T) {
 	model := &batchOracle{}
 	s, _ := newTestServer(t, model, Config{CacheSize: 64})
-	_, trace, err := s.translate(context.Background(), goodQuestion)
+	_, trace, err := s.translate(context.Background(), s.defaultVersion(), goodQuestion)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if trace.Cache != cache.Miss.String() {
 		t.Fatalf("cold trace.Cache = %q, want miss", trace.Cache)
 	}
-	_, trace, err = s.translate(context.Background(), goodQuestion)
+	_, trace, err = s.translate(context.Background(), s.defaultVersion(), goodQuestion)
 	if err != nil || trace.Cache != cache.Hit.String() {
 		t.Fatalf("warm trace.Cache = %q (err %v), want hit", trace.Cache, err)
 	}

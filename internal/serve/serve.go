@@ -1,32 +1,43 @@
 // Package serve is the hardened concurrent serving layer over the
-// runtime phase: it exposes runtime.Translator as a long-lived
-// net/http service that stays correct and responsive under overload,
-// slow models, and injected faults. The robustness stack, outside-in:
+// runtime phase: it exposes a registry of runtime.Translator tenants
+// as a long-lived net/http service that stays correct and responsive
+// under overload, slow models, and injected faults. The robustness
+// stack, outside-in:
 //
-//   - Admission control: a concurrency limiter (par.Limiter) sized to
-//     the worker count plus a bounded waiting room. When both are
-//     full, the request is shed with 429 + Retry-After instead of
-//     queueing unboundedly — under overload, latency stays bounded
-//     and the queue never grows past its cap.
+//   - Admission control: a per-tenant concurrency limiter
+//     (par.Limiter) sized to the worker count plus a bounded waiting
+//     room. When both are full, the request is shed with 429 +
+//     Retry-After instead of queueing unboundedly — under overload,
+//     latency stays bounded, the queue never grows past its cap, and
+//     one tenant's stampede cannot starve another's slots.
 //   - Per-request deadlines: every admitted request runs under a
 //     context deadline that propagates into the translator's
 //     Deadline/Fallbacks chain; expiry is a typed timeout response,
 //     and the abandoned tier costs at most a goroutine, never a slot.
-//   - Circuit breakers: one Breaker per translator tier, plugged into
-//     the chain as a runtime.TierHook. A persistently failing or slow
-//     primary trips open and is skipped without paying its deadline;
-//     after a cooldown a half-open probe decides recovery.
+//   - Circuit breakers: one Breaker per translator tier per model
+//     version, plugged into the chain as a runtime.TierHook. A
+//     persistently failing or slow primary trips open and is skipped
+//     without paying its deadline; after a cooldown a half-open probe
+//     decides recovery. A version swap starts the new model with
+//     fresh, closed breakers.
 //   - Retry: transient chain failures are retried with capped
-//     exponential backoff and seeded jitter — never validation
-//     errors, which cannot succeed on resubmission.
+//     exponential backoff and seeded jitter (each tenant jitters on
+//     its own derived seed) — never validation errors, which cannot
+//     succeed on resubmission.
 //   - Graceful drain: Drain flips /readyz to 503 so load balancers
-//     stop routing; Shutdown then stops accepting and lets in-flight
-//     requests finish under the caller's drain deadline.
+//     stop routing; Shutdown then cancels background onboarding
+//     (leaving resumable checkpoints), stops accepting, and lets
+//     in-flight requests finish under the caller's drain deadline.
 //
-// Endpoints: POST/GET /ask (translate + execute), /translate
-// (translate only, with the lifecycle trace), /healthz (liveness),
-// /readyz (readiness, drain-aware), /statsz (JSON Stats snapshot).
-// Failures use the ErrorKind taxonomy in errors.go.
+// Tenant endpoints: /v1/{schema}/ask (translate + execute) and
+// /v1/{schema}/translate (translate only), plus the legacy /ask and
+// /translate which accept ?schema= and default to the first installed
+// tenant. Admin: POST /schemas onboards a new schema in the background
+// (generate→train→eval→swap, with onboarding status), GET /schemas
+// lists tenants, GET/DELETE /schemas/{name} inspects or removes one.
+// Probes: /healthz (liveness), /readyz (readiness, drain-aware),
+// /statsz (JSON Stats snapshot with a per-tenant section). Failures
+// use the ErrorKind taxonomy in errors.go.
 package serve
 
 import (
@@ -38,11 +49,14 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/boot"
 	"repro/internal/cache"
 	"repro/internal/par"
+	"repro/internal/registry"
 	"repro/internal/runtime"
 	"repro/internal/sqlast"
 )
@@ -50,26 +64,29 @@ import (
 // Config sizes the robustness stack. The zero value gets defaults
 // suitable for tests and small deployments.
 type Config struct {
-	// Workers bounds concurrent translations (0 = NumCPU).
+	// Workers bounds concurrent translations per tenant (0 = NumCPU).
 	Workers int
-	// Queue is the waiting-room size: requests beyond Workers that
-	// may wait for a slot before shedding starts (0 = 2×Workers,
-	// negative = no waiting room).
+	// Queue is the per-tenant waiting-room size: requests beyond
+	// Workers that may wait for a slot before shedding starts (0 =
+	// 2×Workers, negative = no waiting room).
 	Queue int
 	// Timeout is the default per-request deadline (0 = 10s). Clients
 	// may lower it per request with timeout_ms, never raise it.
 	Timeout time.Duration
 	// Retry is the transient-failure retry policy (zero = no retry).
+	// The default tenant jitters on Retry.Seed itself; every other
+	// tenant derives a disjoint jitter stream from its name.
 	Retry RetryPolicy
 	// Breaker parameterizes the per-tier circuit breakers; set
 	// DisableBreakers to run without them.
 	Breaker         BreakerConfig
 	DisableBreakers bool
 	// CacheSize enables the anonymization-keyed result cache with this
-	// many entries (0 = no cache). Keys are the lemmatized anonymized
-	// question, so every constant variation of a query shape shares
-	// one cached decode; CacheShards optionally overrides the shard
-	// count (0 = the cache package default).
+	// many entries per model version (0 = no cache). Keys are the
+	// schema name plus the lemmatized anonymized question, so every
+	// constant variation of a query shape shares one cached decode and
+	// no two tenants can ever share an entry; CacheShards optionally
+	// overrides the shard count (0 = the cache package default).
 	CacheSize   int
 	CacheShards int
 	// BatchMax enables cross-request microbatching when >= 2: up to
@@ -78,6 +95,20 @@ type Config struct {
 	// (0 = the batcher default, 2ms). 0 or 1 disables batching.
 	BatchMax  int
 	BatchWait time.Duration
+	// MinAccuracy is the onboarding eval gate: a candidate model
+	// scoring below it on the per-schema workload is rejected and the
+	// prior version keeps serving (0 disables the gate).
+	MinAccuracy float64
+	// EvalQuestions sizes the gate workload (0 = the registry default,
+	// negative skips evaluation).
+	EvalQuestions int
+	// CheckpointDir makes onboarding restartable: training checkpoints
+	// land in <dir>/<tenant>.ckpt every CheckpointEvery steps and a
+	// re-onboard resumes from them.
+	CheckpointDir   string
+	CheckpointEvery int
+	// Logf, when non-nil, receives onboarding progress lines.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -94,64 +125,167 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server wraps one runtime.Translator behind the robustness stack.
-// Create it with New, mount Handler (or Start/Shutdown for a managed
-// listener), and it is safe for any number of concurrent requests.
+// Server fronts a tenant registry with the robustness stack. Create it
+// with New (single tenant) or NewMulti, mount Handler (or
+// Start/Shutdown for a managed listener), and it is safe for any
+// number of concurrent requests.
 type Server struct {
-	tr       *runtime.Translator
-	cfg      Config
-	limiter  *par.Limiter
-	breakers *TierBreakers
-	cache    *cache.Cache[*runtime.DecodeResult]
-	batcher  *Batcher
-	stats    *counters
-	mux      *http.ServeMux
-	http     *http.Server
+	reg  *registry.Registry
+	cfg  Config
+	mux  *http.ServeMux
+	http *http.Server
 
-	waiting  atomic.Int64
+	// onboardCtx parents every background onboarding; Shutdown cancels
+	// it so training checkpoints and the goroutines drain.
+	onboardCtx    context.Context
+	onboardCancel context.CancelFunc
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
 	draining atomic.Bool
 	reqSeq   atomic.Int64
 }
 
-// New wires the stack around tr. Unless cfg.DisableBreakers is set,
-// tr.Hook is replaced with the server's per-tier breakers — the
-// breaker hook point of the degradation chain.
+// tenantState is the serving-side per-tenant state: admission
+// telemetry and the tenant's derived retry-jitter stream. The model
+// slot, cache, and breakers live on the registry's Version so they
+// swap atomically with the model.
+type tenantState struct {
+	name    string
+	tenant  *registry.Tenant
+	retry   RetryPolicy
+	stats   *counters
+	waiting atomic.Int64
+}
+
+// equipment is what the server attaches to every registry version:
+// breakers and batcher are per-version so a swapped-in model starts
+// with closed breakers and a batcher wrapping its own weights.
+type equipment struct {
+	breakers *TierBreakers
+	batcher  *Batcher
+}
+
+// New wires the stack around a single pre-built translator — the
+// original single-tenant constructor, kept as the boot-time path for
+// callers that assembled their own runtime.Translator. The tenant is
+// named after the translator's schema.
 func New(tr *runtime.Translator, cfg Config) *Server {
+	u := &boot.Unit{Schema: tr.DB.Schema, DB: tr.DB, Model: tr.Model, Translator: tr}
+	return NewMulti([]*boot.Unit{u}, cfg)
+}
+
+// NewMulti wires the stack around any number of pre-built tenants; the
+// first is the default tenant for the legacy un-prefixed routes. More
+// tenants onboard live through POST /schemas.
+func NewMulti(units []*boot.Unit, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		tr:      tr,
 		cfg:     cfg,
-		limiter: par.NewLimiter(cfg.Workers),
-		stats:   newCounters(),
+		tenants: map[string]*tenantState{},
 		mux:     http.NewServeMux(),
 	}
-	if !cfg.DisableBreakers {
-		s.breakers = NewTierBreakers(cfg.Breaker)
-		tr.Hook = s.breakers
+	s.onboardCtx, s.onboardCancel = context.WithCancel(context.Background())
+	s.reg = registry.New(registry.Config{
+		Workers:         cfg.Workers,
+		CacheSize:       cfg.CacheSize,
+		CacheShards:     cfg.CacheShards,
+		MinAccuracy:     cfg.MinAccuracy,
+		EvalQuestions:   cfg.EvalQuestions,
+		CheckpointDir:   cfg.CheckpointDir,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Equip:           s.equip,
+		Logf:            cfg.Logf,
+	})
+	for _, u := range units {
+		s.reg.Install(u.Schema.Name, u)
 	}
-	if cfg.CacheSize > 0 {
-		s.cache = cache.New[*runtime.DecodeResult](cache.Config{
-			Capacity: cfg.CacheSize,
-			Shards:   cfg.CacheShards,
-		})
-	}
-	if cfg.BatchMax >= 2 && tr.Model != nil {
-		// The primary model decodes through the microbatcher; wrapping
-		// it keeps the tier chain (breakers, deadlines, fallbacks)
-		// oblivious to batching.
-		s.batcher = NewBatcher(tr.Model, tr.SchemaTokens(), BatcherConfig{
-			MaxBatch: cfg.BatchMax,
-			MaxWait:  cfg.BatchWait,
-		})
-		tr.Model = batchingModel{inner: tr.Model, b: s.batcher}
-	}
-	s.mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) { s.answer(w, r, true) })
-	s.mux.HandleFunc("/translate", func(w http.ResponseWriter, r *http.Request) { s.answer(w, r, false) })
+	s.mux.HandleFunc("/ask", func(w http.ResponseWriter, r *http.Request) {
+		s.answer(w, r, r.URL.Query().Get("schema"), true)
+	})
+	s.mux.HandleFunc("/translate", func(w http.ResponseWriter, r *http.Request) {
+		s.answer(w, r, r.URL.Query().Get("schema"), false)
+	})
+	s.mux.HandleFunc("/v1/", s.handleV1)
+	s.mux.HandleFunc("/schemas", s.handleSchemas)
+	s.mux.HandleFunc("/schemas/", s.handleSchema)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
 	s.http = &http.Server{Handler: s.mux}
 	return s
+}
+
+// Registry exposes the tenant registry (admin tooling, tests).
+func (s *Server) Registry() *registry.Registry { return s.reg }
+
+// equip attaches per-version breakers and batcher before the registry
+// makes the version visible.
+func (s *Server) equip(_ string, v *registry.Version) {
+	eq := &equipment{}
+	tr := v.Unit.Translator
+	if !s.cfg.DisableBreakers {
+		eq.breakers = NewTierBreakers(s.cfg.Breaker)
+		tr.Hook = eq.breakers
+	}
+	if s.cfg.BatchMax >= 2 && tr.Model != nil {
+		// The primary model decodes through the microbatcher; wrapping
+		// it keeps the tier chain (breakers, deadlines, fallbacks)
+		// oblivious to batching.
+		eq.batcher = NewBatcher(tr.Model, tr.SchemaTokens(), BatcherConfig{
+			MaxBatch: s.cfg.BatchMax,
+			MaxWait:  s.cfg.BatchWait,
+		})
+		tr.Model = batchingModel{inner: tr.Model, b: eq.batcher}
+	}
+	v.Equipment = eq
+}
+
+// defaultVersion returns the default tenant's serving version, or nil
+// for an empty registry (single-tenant helpers and tests).
+func (s *Server) defaultVersion() *registry.Version {
+	if t := s.reg.Default(); t != nil {
+		return t.Current()
+	}
+	return nil
+}
+
+// versionEquipment unwraps what equip attached (nil-safe).
+func versionEquipment(v *registry.Version) *equipment {
+	if v == nil {
+		return nil
+	}
+	eq, _ := v.Equipment.(*equipment)
+	return eq
+}
+
+// state returns the serving-side state for a tenant, creating it on
+// first use. The default tenant keeps the configured retry seed (the
+// single-tenant behavior); every other tenant mixes its name in so the
+// jitter streams are disjoint.
+func (s *Server) state(t *registry.Tenant) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts := s.tenants[t.Name]
+	if ts == nil {
+		ts = &tenantState{name: t.Name, tenant: t, stats: newCounters(), retry: s.cfg.Retry}
+		if def := s.reg.Default(); def != nil && def.Name != t.Name {
+			ts.retry.Seed = s.cfg.Retry.Seed ^ int64(fnv64(t.Name))
+		}
+		s.tenants[t.Name] = ts
+	}
+	return ts
+}
+
+// fnv64 is the FNV-1a hash used to derive per-tenant seeds.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Handler returns the routed handler, for tests and custom listeners.
@@ -176,51 +310,23 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Shutdown drains and then stops the listener started by Start,
-// waiting for in-flight requests to finish until ctx expires.
+// Shutdown drains, cancels in-flight onboarding (its training writes a
+// final checkpoint, so a later process resumes where it stopped), and
+// then stops the listener started by Start, waiting for in-flight
+// requests to finish until ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
+	s.onboardCancel()
+	s.reg.Wait()
 	return s.http.Shutdown(ctx)
-}
-
-// Snapshot assembles the current Stats.
-func (s *Server) Snapshot() Stats {
-	st := Stats{
-		Draining:   s.draining.Load(),
-		Capacity:   s.cfg.Workers,
-		QueueCap:   s.cfg.Queue,
-		InFlight:   s.limiter.InUse(),
-		QueueDepth: s.waiting.Load(),
-		Accepted:   s.stats.accepted.Load(),
-		Completed:  s.stats.completed.Load(),
-		Failed:     s.stats.failed.Load(),
-		Shed:       s.stats.shed.Load(),
-		Timeouts:   s.stats.timeouts.Load(),
-		Validation: s.stats.validation.Load(),
-		Retries:    s.stats.retries.Load(),
-		Tiers:      s.stats.tierCounts(),
-		Breakers:   map[string]string{},
-	}
-	if s.breakers != nil {
-		st.Breakers = s.breakers.States()
-	}
-	if s.cache != nil {
-		cs := s.cache.Snapshot()
-		st.Cache = &cs
-	}
-	if s.batcher != nil {
-		bs := s.batcher.Snapshot()
-		st.Batcher = &bs
-	}
-	return st
 }
 
 // ---------------------------------------------------------------------
 // Request handling.
 // ---------------------------------------------------------------------
 
-// askRequest is the POST body of /ask and /translate; GET requests
-// use ?q= and ?timeout_ms= instead.
+// askRequest is the POST body of the ask/translate endpoints; GET
+// requests use ?q= and ?timeout_ms= instead.
 type askRequest struct {
 	Question  string `json:"question"`
 	TimeoutMS int    `json:"timeout_ms"`
@@ -229,20 +335,61 @@ type askRequest struct {
 // askResponse is the success body.
 type askResponse struct {
 	Question string `json:"question"`
-	SQL      string `json:"sql"`
+	// Schema names the tenant that answered.
+	Schema string `json:"schema"`
+	SQL    string `json:"sql"`
 	// Tier names the translator tier that answered.
 	Tier string `json:"tier"`
 	// TierErrors lists the failed tiers ahead of the answering one.
 	TierErrors []string `json:"tier_errors,omitempty"`
-	// Columns/Rows carry the execution result on /ask (absent on
-	// /translate).
+	// Columns/Rows carry the execution result on ask (absent on
+	// translate).
 	Columns []string   `json:"columns,omitempty"`
 	Rows    [][]string `json:"rows,omitempty"`
 	Retries int        `json:"retries,omitempty"`
 }
 
-// answer is the shared /ask (execute=true) and /translate handler.
-func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
+// handleV1 routes /v1/{schema}/ask and /v1/{schema}/translate.
+func (s *Server) handleV1(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/")
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || name == "" || (op != "ask" && op != "translate") {
+		writeError(w, KindNotFound, 0, "no route %s; want /v1/{schema}/ask or /v1/{schema}/translate", r.URL.Path)
+		return
+	}
+	s.answer(w, r, name, op == "ask")
+}
+
+// resolveTenant maps a request's schema name ("" = default tenant) to
+// the tenant and its serving version, writing the typed error itself
+// when resolution fails.
+func (s *Server) resolveTenant(w http.ResponseWriter, name string) (*tenantState, *registry.Version, bool) {
+	var t *registry.Tenant
+	if name == "" {
+		t = s.reg.Default()
+	} else {
+		t = s.reg.Lookup(name)
+	}
+	if t == nil {
+		writeError(w, KindNotFound, 0, "unknown schema %q; GET /schemas lists tenants", name)
+		return nil, nil, false
+	}
+	v := t.Current()
+	if v == nil {
+		st := t.Status()
+		msg := "schema %q has no serving model yet (state %s)"
+		if st.Error != "" {
+			msg += ": " + st.Error
+		}
+		writeError(w, KindOnboarding, 2, msg, t.Name, st.State)
+		return nil, nil, false
+	}
+	return s.state(t), v, true
+}
+
+// answer is the shared ask (execute=true) and translate handler for
+// both the /v1/{schema}/ and legacy routes.
+func (s *Server) answer(w http.ResponseWriter, r *http.Request, schemaName string, execute bool) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
 		writeError(w, KindValidation, 0, "method %s not allowed; use GET or POST", r.Method)
@@ -252,34 +399,39 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
 		writeError(w, KindDraining, 0, "server is draining")
 		return
 	}
+	ts, v, ok := s.resolveTenant(w, schemaName)
+	if !ok {
+		return
+	}
 	req, err := parseAsk(r)
 	if err != nil {
-		s.stats.validation.Add(1)
+		ts.stats.validation.Add(1)
 		writeError(w, KindValidation, 0, "%v", err)
 		return
 	}
 
-	// Admission control: take a slot immediately if one is free; else
-	// join the bounded waiting room or shed.
-	if !s.limiter.TryAcquire() {
-		if s.waiting.Add(1) > int64(s.cfg.Queue) {
-			s.waiting.Add(-1)
-			s.stats.shed.Add(1)
-			writeError(w, KindShed, 1, "server at capacity (%d in flight, %d queued); retry later",
-				s.cfg.Workers, s.cfg.Queue)
+	// Admission control: take a tenant slot immediately if one is
+	// free; else join the tenant's bounded waiting room or shed.
+	limiter := ts.tenant.Limiter
+	if !limiter.TryAcquire() {
+		if ts.waiting.Add(1) > int64(s.cfg.Queue) {
+			ts.waiting.Add(-1)
+			ts.stats.shed.Add(1)
+			writeError(w, KindShed, 1, "schema %q at capacity (%d in flight, %d queued); retry later",
+				ts.name, s.cfg.Workers, s.cfg.Queue)
 			return
 		}
-		werr := s.limiter.Acquire(r.Context())
-		s.waiting.Add(-1)
+		werr := limiter.Acquire(r.Context())
+		ts.waiting.Add(-1)
 		if werr != nil {
 			// The client went away while queued.
-			s.stats.timeouts.Add(1)
+			ts.stats.timeouts.Add(1)
 			writeError(w, KindTimeout, 0, "request cancelled while queued: %v", werr)
 			return
 		}
 	}
-	defer s.limiter.Release()
-	s.stats.accepted.Add(1)
+	defer limiter.Release()
+	ts.stats.accepted.Add(1)
 
 	timeout := s.cfg.Timeout
 	if req.TimeoutMS > 0 {
@@ -294,12 +446,12 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
 		q     *sqlast.Query
 		trace *runtime.Trace
 	)
-	retries, terr := s.cfg.Retry.Do(ctx, s.reqSeq.Add(1), retryable, func() error {
+	retries, terr := ts.retry.Do(ctx, s.reqSeq.Add(1), retryable, func() error {
 		var ferr error
-		q, trace, ferr = s.translate(ctx, req.Question)
+		q, trace, ferr = s.translate(ctx, v, req.Question)
 		return ferr
 	})
-	s.stats.retries.Add(int64(retries))
+	ts.stats.retries.Add(int64(retries))
 	if terr != nil {
 		kind := classify(terr)
 		if ctx.Err() != nil {
@@ -307,57 +459,60 @@ func (s *Server) answer(w http.ResponseWriter, r *http.Request, execute bool) {
 			// root cause once it has expired.
 			kind = KindTimeout
 		}
-		s.recordFailure(kind)
+		ts.recordFailure(kind)
 		writeError(w, kind, 0, "%v", terr)
 		return
 	}
 
 	resp := askResponse{
 		Question: req.Question,
+		Schema:   ts.name,
 		SQL:      q.String(),
 		Tier:     trace.Tier,
 		Retries:  retries,
 	}
 	resp.TierErrors = append(resp.TierErrors, trace.TierErrors...)
 	if execute {
-		res, xerr := s.tr.DB.Execute(q)
+		res, xerr := v.Unit.DB.Execute(q)
 		if xerr != nil {
-			s.recordFailure(KindInternal)
+			ts.recordFailure(KindInternal)
 			writeError(w, KindInternal, 0, "executing %q: %v", q.String(), xerr)
 			return
 		}
 		resp.Columns = res.Columns
 		for _, row := range res.Rows {
 			out := make([]string, len(row))
-			for i, v := range row {
-				out[i] = v.String()
+			for i, val := range row {
+				out[i] = val.String()
 			}
 			resp.Rows = append(resp.Rows, out)
 		}
 	}
-	s.stats.completed.Add(1)
-	s.stats.answeredBy(trace.Tier)
+	ts.stats.completed.Add(1)
+	ts.stats.answeredBy(trace.Tier)
 	w.Header().Set("Content-Type", "application/json")
 	writeJSON(w, resp)
 }
 
-// translate runs one question through the inference hot path. With no
-// cache configured it is exactly the translator's one-shot entry
-// point (batching, when on, already lives inside the primary model).
-// With a cache, the pipeline splits: the deterministic pre-processing
-// runs first, its lemmatized anonymized output keys the result cache,
-// and only a leader that misses pays a decode — concurrent misses for
-// the same key coalesce onto that one decode, and each request then
-// finalizes the shared binding-independent candidates under its own
-// constants. A cached decode that no longer finalizes for this
-// request's bindings falls back to one fresh full-strength decode
-// rather than failing the request.
-func (s *Server) translate(ctx context.Context, question string) (*sqlast.Query, *runtime.Trace, error) {
-	if s.cache == nil {
-		return s.tr.TranslateTraceContext(ctx, question)
+// translate runs one question through the version's inference hot
+// path. With no cache configured it is exactly the translator's
+// one-shot entry point (batching, when on, already lives inside the
+// primary model). With a cache, the pipeline splits: the deterministic
+// pre-processing runs first, its schema-qualified lemmatized output
+// keys the version's result cache, and only a leader that misses pays
+// a decode — concurrent misses for the same key coalesce onto that one
+// decode, and each request then finalizes the shared
+// binding-independent candidates under its own constants. A cached
+// decode that no longer finalizes for this request's bindings falls
+// back to one fresh full-strength decode rather than failing the
+// request.
+func (s *Server) translate(ctx context.Context, v *registry.Version, question string) (*sqlast.Query, *runtime.Trace, error) {
+	tr := v.Unit.Translator
+	if v.Cache == nil {
+		return tr.TranslateTraceContext(ctx, question)
 	}
 	trace := &runtime.Trace{Question: question}
-	anon, nl, err := s.tr.Preprocess(question)
+	anon, nl, err := tr.Preprocess(question)
 	if err != nil {
 		return nil, trace, err
 	}
@@ -369,8 +524,8 @@ func (s *Server) translate(ctx context.Context, question string) (*sqlast.Query,
 	// belong to the same request); leaderQ carries that answer past
 	// the cache, which only stores the binding-independent decode.
 	var leaderQ *sqlast.Query
-	dec, outcome, err := s.cache.Do(ctx, strings.Join(nl, " "), func(lctx context.Context) (*runtime.DecodeResult, error) {
-		q, d, lerr := s.tr.TranslatePrepared(lctx, nl, anon.Bindings, nil, trace)
+	dec, outcome, err := v.Cache.Do(ctx, tr.CacheKey(nl), func(lctx context.Context) (*runtime.DecodeResult, error) {
+		q, d, lerr := tr.TranslatePrepared(lctx, nl, anon.Bindings, nil, trace)
 		leaderQ = q
 		return d, lerr
 	})
@@ -381,24 +536,24 @@ func (s *Server) translate(ctx context.Context, question string) (*sqlast.Query,
 	if outcome == cache.Miss && leaderQ != nil {
 		return leaderQ, trace, nil
 	}
-	q, _, ferr := s.tr.TranslatePrepared(ctx, nl, anon.Bindings, dec, trace)
+	q, _, ferr := tr.TranslatePrepared(ctx, nl, anon.Bindings, dec, trace)
 	if ferr == nil {
 		return q, trace, nil
 	}
 	// Stale for these bindings: re-decode at full strength.
-	q, _, err = s.tr.TranslatePrepared(ctx, nl, anon.Bindings, nil, trace)
+	q, _, err = tr.TranslatePrepared(ctx, nl, anon.Bindings, nil, trace)
 	return q, trace, err
 }
 
 // recordFailure bumps the failure counter for the kind.
-func (s *Server) recordFailure(kind ErrorKind) {
+func (ts *tenantState) recordFailure(kind ErrorKind) {
 	switch kind {
 	case KindTimeout:
-		s.stats.timeouts.Add(1)
+		ts.stats.timeouts.Add(1)
 	case KindValidation:
-		s.stats.validation.Add(1)
+		ts.stats.validation.Add(1)
 	}
-	s.stats.failed.Add(1)
+	ts.stats.failed.Add(1)
 }
 
 // parseAsk extracts the question and optional timeout from either

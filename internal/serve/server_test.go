@@ -298,6 +298,18 @@ func TestHealthzReadyzStatsz(t *testing.T) {
 	if s.Draining() {
 		t.Fatal("fresh server must not be draining")
 	}
+	// The per-tenant section: a single-tenant server still carries a
+	// row for its one tenant, mirroring the registry lifecycle.
+	row, ok := stats.Tenants["patients"]
+	if !ok || len(stats.Tenants) != 1 {
+		t.Fatalf("tenants section = %+v, want exactly the patients row", stats.Tenants)
+	}
+	if row.State != "ready" || row.Version != 1 || row.Completed != 1 || row.Tiers["oracle"] != 1 {
+		t.Fatalf("patients tenant row = %+v, want ready v1 with the one oracle completion", row)
+	}
+	if row.Breakers["oracle"] != "closed" {
+		t.Fatalf("tenant breakers = %v, want oracle closed", row.Breakers)
+	}
 
 	// With the hot path on, /statsz grows cache and batcher sections of
 	// the documented shape.
@@ -319,6 +331,9 @@ func TestHealthzReadyzStatsz(t *testing.T) {
 	}
 	if hot.Batcher.MaxBatch != 4 || hot.Batcher.Batches != 1 || hot.Batcher.Items != 1 || hot.Batcher.MeanBatch != 1 {
 		t.Fatalf("batcher section = %+v, want one singleton flush", hot.Batcher)
+	}
+	if hotRow := hot.Tenants["patients"]; hotRow.Cache == nil || hotRow.Cache.Hits != 1 {
+		t.Fatalf("tenant cache stats = %+v, want the hit mirrored per tenant", hot.Tenants["patients"])
 	}
 }
 

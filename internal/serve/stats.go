@@ -6,15 +6,21 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/registry"
 )
 
 // Stats is the /statsz snapshot: queue and concurrency occupancy,
 // admission outcomes, retry volume, per-tier answer counts, and the
 // state of every tier breaker. The shape is part of the serving
-// contract (DESIGN.md, "Serving layer").
+// contract (DESIGN.md, "Serving layer"). The top-level occupancy and
+// counter fields aggregate across tenants (single-tenant servers see
+// the original shape unchanged); Breakers/Cache/Batcher describe the
+// default tenant's serving version, and Tenants breaks everything out
+// per tenant.
 type Stats struct {
 	Draining bool `json:"draining"`
-	// Capacity is the concurrency limit, QueueCap the waiting room.
+	// Capacity is the per-tenant concurrency limit, QueueCap the
+	// per-tenant waiting room.
 	Capacity int `json:"capacity"`
 	QueueCap int `json:"queue_cap"`
 	// InFlight and QueueDepth are instantaneous occupancy.
@@ -36,6 +42,125 @@ type Stats struct {
 	// the corresponding feature is off.
 	Cache   *cache.Stats  `json:"cache,omitempty"`
 	Batcher *BatcherStats `json:"batcher,omitempty"`
+	// Tenants is the per-tenant breakdown, keyed by tenant name.
+	Tenants map[string]TenantStats `json:"tenants"`
+}
+
+// TenantStats is one tenant's slice of the snapshot: registry
+// lifecycle (state, serving version, onboarding progress) plus the
+// serving-side occupancy, counters, and per-version equipment.
+type TenantStats struct {
+	State string `json:"state"`
+	// Version is the serving model slot's sequence number (0 = none
+	// installed yet).
+	Version    int     `json:"version"`
+	Accuracy   float64 `json:"accuracy"`
+	Onboarding bool    `json:"onboarding,omitempty"`
+	Resumed    bool    `json:"resumed,omitempty"`
+	Error      string  `json:"error,omitempty"`
+	Pairs      int     `json:"pairs,omitempty"`
+
+	InFlight   int   `json:"in_flight"`
+	QueueDepth int64 `json:"queue_depth"`
+	Accepted   int64 `json:"accepted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Shed       int64 `json:"shed"`
+	Timeouts   int64 `json:"timeouts"`
+	Validation int64 `json:"validation"`
+	Retries    int64 `json:"retries"`
+
+	Tiers    map[string]int64  `json:"tiers,omitempty"`
+	Breakers map[string]string `json:"breakers,omitempty"`
+	Cache    *cache.Stats      `json:"cache,omitempty"`
+	Batcher  *BatcherStats     `json:"batcher,omitempty"`
+}
+
+// Snapshot assembles the Stats for /statsz: a row per tenant, with the
+// legacy top-level fields aggregated across them and the default
+// tenant's equipment surfaced top-level for single-tenant
+// compatibility.
+func (s *Server) Snapshot() Stats {
+	st := Stats{
+		Draining: s.draining.Load(),
+		Capacity: s.cfg.Workers,
+		QueueCap: s.cfg.Queue,
+		Tiers:    map[string]int64{},
+		Breakers: map[string]string{},
+		Tenants:  map[string]TenantStats{},
+	}
+	def := s.reg.Default()
+	for _, name := range s.reg.Names() {
+		t := s.reg.Lookup(name)
+		if t == nil {
+			continue
+		}
+		row := s.tenantStats(t)
+		st.Tenants[name] = row
+		st.InFlight += row.InFlight
+		st.QueueDepth += row.QueueDepth
+		st.Accepted += row.Accepted
+		st.Completed += row.Completed
+		st.Failed += row.Failed
+		st.Shed += row.Shed
+		st.Timeouts += row.Timeouts
+		st.Validation += row.Validation
+		st.Retries += row.Retries
+		for tier, n := range row.Tiers {
+			st.Tiers[tier] += n
+		}
+		if def != nil && name == def.Name {
+			if row.Breakers != nil {
+				st.Breakers = row.Breakers
+			}
+			st.Cache = row.Cache
+			st.Batcher = row.Batcher
+		}
+	}
+	return st
+}
+
+// tenantStats snapshots one tenant's row.
+func (s *Server) tenantStats(t *registry.Tenant) TenantStats {
+	rst := t.Status()
+	row := TenantStats{
+		State:      string(rst.State),
+		Version:    rst.Version,
+		Accuracy:   rst.Accuracy,
+		Onboarding: rst.Onboarding,
+		Resumed:    rst.Resumed,
+		Error:      rst.Error,
+		Pairs:      rst.Pairs,
+		InFlight:   t.Limiter.InUse(),
+	}
+	s.mu.Lock()
+	ts := s.tenants[t.Name]
+	s.mu.Unlock()
+	if ts != nil {
+		row.QueueDepth = ts.waiting.Load()
+		row.Accepted = ts.stats.accepted.Load()
+		row.Completed = ts.stats.completed.Load()
+		row.Failed = ts.stats.failed.Load()
+		row.Shed = ts.stats.shed.Load()
+		row.Timeouts = ts.stats.timeouts.Load()
+		row.Validation = ts.stats.validation.Load()
+		row.Retries = ts.stats.retries.Load()
+		row.Tiers = ts.stats.tierCounts()
+	}
+	if eq := versionEquipment(t.Current()); eq != nil {
+		if eq.breakers != nil {
+			row.Breakers = eq.breakers.States()
+		}
+		if eq.batcher != nil {
+			bs := eq.batcher.Snapshot()
+			row.Batcher = &bs
+		}
+	}
+	if v := t.Current(); v != nil && v.Cache != nil {
+		cs := v.Cache.Snapshot()
+		row.Cache = &cs
+	}
+	return row
 }
 
 // counters aggregates the server's mutable telemetry. Counter fields
