@@ -1,13 +1,21 @@
 // Command dbpal-lint runs the repository's static-analysis suite
 // (internal/analysis): stdlib-only analyzers that machine-check the
-// pipeline's determinism and concurrency invariants — explicit seeds
-// (determinism, seedsplit), sorted map iteration (maporder), all
-// concurrency through internal/par / internal/pipeline (rawgo), and
-// no silently dropped errors (errdrop).
+// pipeline's determinism and concurrency invariants. Per-file checks
+// cover explicit seeds (determinism, seedsplit), sorted map iteration
+// (maporder), all concurrency through internal/par / internal/pipeline
+// (rawgo), dropped errors (errdrop), and context-first signatures
+// (ctxfirst). On top of a module-wide call graph with a propagated
+// "may block" fact, the interprocedural checks enforce the serving
+// stack's concurrency contracts: no mutex held across a blocking call
+// (lockheld), no mixed atomic/plain field access (atomicfield),
+// provable goroutine exit paths (goexit), sender-side-only channel
+// closes (chanclose), and contexts that actually reach the blocking
+// work (ctxdrop).
 //
 //	dbpal-lint ./...            lint the whole module (text output)
 //	dbpal-lint -json ./cmd/...  machine-readable findings
 //	dbpal-lint -list            describe the analyzers
+//	dbpal-lint -stale-allow     also fail on unused //lint:allow directives
 //
 // Findings print as path:line:col: [check] message, sorted by
 // position, and the exit status is 1 when there are any — wire it
@@ -15,6 +23,9 @@
 // (or preceding-line) directive:
 //
 //	t0 := time.Now() //lint:allow determinism timing is reporting-only
+//
+// Every directive must suppress at least one live finding; run with
+// -stale-allow to flag the ones that no longer do.
 package main
 
 import (
@@ -28,9 +39,10 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON report")
 		list    = flag.Bool("list", false, "list the analyzers and exit")
 		quiet   = flag.Bool("q", false, "suppress the findings summary on stderr")
+		stale   = flag.Bool("stale-allow", false, "report //lint:allow directives that suppress nothing")
 	)
 	flag.Parse()
 
@@ -63,7 +75,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(mod, pkgs, suite)
+	diags, staleDiags := analysis.RunStale(mod, pkgs, suite)
+	if *stale {
+		diags = append(diags, staleDiags...)
+		analysis.SortDiagnostics(diags)
+	}
 	if *jsonOut {
 		err = analysis.FormatJSON(os.Stdout, diags)
 	} else {
@@ -73,10 +89,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dbpal-lint:", err)
 		os.Exit(2)
 	}
+	if !*quiet {
+		// The suppression count feeds the CI job summary: a creeping
+		// number is a smell even while the tree lints clean.
+		fmt.Fprintf(os.Stderr, "dbpal-lint: %d finding(s) in %d package(s), %d suppression(s) in force\n",
+			len(diags), len(pkgs), analysis.CountSuppressions(mod, pkgs))
+	}
 	if len(diags) > 0 {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "dbpal-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
-		}
 		os.Exit(1)
 	}
 }

@@ -46,22 +46,32 @@ type Analyzer struct {
 }
 
 // Diagnostic is one finding. Path is module-relative and
-// slash-separated, so output is stable across checkouts.
+// slash-separated, so output is stable across checkouts. Analyzer
+// names the analyzer that produced the finding (same as Check for
+// analyzer findings; "load" for loader-level problems such as parse
+// errors). Suppressible reports whether a //lint:allow directive can
+// silence the finding — loader problems and stale-allow reports
+// cannot be suppressed.
 type Diagnostic struct {
-	Check   string `json:"check"`
-	Path    string `json:"path"`
-	Line    int    `json:"line"`
-	Col     int    `json:"col"`
-	Message string `json:"message"`
+	Check        string `json:"check"`
+	Analyzer     string `json:"analyzer"`
+	Path         string `json:"path"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Message      string `json:"message"`
+	Suppressible bool   `json:"suppressible"`
 }
 
 // Pass hands one (analyzer, package) pairing its reporting context.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Mod is the enclosing module; it carries the memoized
+	// interprocedural call graph (see Pass.Graph).
+	Mod *Module
 
 	moduleDir string
-	allow     allowIndex
+	allow     *allowIndex
 	sink      *[]Diagnostic
 }
 
@@ -77,11 +87,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		return
 	}
 	*p.sink = append(*p.sink, Diagnostic{
-		Check:   p.Analyzer.Name,
-		Path:    rel,
-		Line:    position.Line,
-		Col:     position.Column,
-		Message: fmt.Sprintf(format, args...),
+		Check:        p.Analyzer.Name,
+		Analyzer:     p.Analyzer.Name,
+		Path:         rel,
+		Line:         position.Line,
+		Col:          position.Column,
+		Message:      fmt.Sprintf(format, args...),
+		Suppressible: true,
 	})
 }
 
@@ -123,25 +135,45 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // Suppression directives.
 // ---------------------------------------------------------------------
 
-// allowIndex maps a "file:line" key to the set of check names a
-// //lint:allow directive covers on that line.
-type allowIndex map[string]map[string]bool
+// allowDirective is one (check, site) pair declared by a //lint:allow
+// comment. used flips when the directive suppresses at least one
+// finding, which is what -stale-allow audits.
+type allowDirective struct {
+	check string
+	file  string // absolute filename of the directive comment
+	rel   string // module-relative path for reporting
+	line  int    // line of the directive comment
+	col   int
+	used  bool
+}
 
-func (a allowIndex) allowed(check, file string, line int) bool {
-	return a[fmt.Sprintf("%s:%d", file, line)][check]
+// allowIndex maps a "file:line" key to the directives covering that
+// line, and keeps the full directive list for staleness reporting.
+type allowIndex struct {
+	byLine map[string]map[string]*allowDirective
+	all    []*allowDirective
+}
+
+func (a *allowIndex) allowed(check, file string, line int) bool {
+	d := a.byLine[fmt.Sprintf("%s:%d", file, line)][check]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
 }
 
 // buildAllowIndex scans a package's comments for //lint:allow
 // directives. A directive covers its own line (end-of-line form) and
 // the line below it (standalone form above a statement).
-func buildAllowIndex(pkg *Package) allowIndex {
-	idx := allowIndex{}
-	add := func(file string, line int, check string) {
-		key := fmt.Sprintf("%s:%d", file, line)
-		if idx[key] == nil {
-			idx[key] = map[string]bool{}
+func buildAllowIndex(moduleDir string, pkg *Package) *allowIndex {
+	idx := &allowIndex{byLine: map[string]map[string]*allowDirective{}}
+	cover := func(d *allowDirective, line int) {
+		key := fmt.Sprintf("%s:%d", d.file, line)
+		if idx.byLine[key] == nil {
+			idx.byLine[key] = map[string]*allowDirective{}
 		}
-		idx[key][check] = true
+		idx.byLine[key][d.check] = d
 	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -155,9 +187,21 @@ func buildAllowIndex(pkg *Package) allowIndex {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
+				rel := pos.Filename
+				if r, err := filepath.Rel(moduleDir, pos.Filename); err == nil {
+					rel = filepath.ToSlash(r)
+				}
 				for _, check := range strings.Split(fields[0], ",") {
-					add(pos.Filename, pos.Line, check)
-					add(pos.Filename, pos.Line+1, check)
+					d := &allowDirective{
+						check: check,
+						file:  pos.Filename,
+						rel:   rel,
+						line:  pos.Line,
+						col:   pos.Column,
+					}
+					idx.all = append(idx.all, d)
+					cover(d, pos.Line)
+					cover(d, pos.Line+1)
 				}
 			}
 		}
@@ -171,21 +215,61 @@ func buildAllowIndex(pkg *Package) allowIndex {
 
 // Run applies each analyzer to each package it covers and returns the
 // findings sorted by (path, line, col, check) — a deterministic order
-// regardless of package iteration or analyzer registration.
+// regardless of package iteration or analyzer registration. Loader
+// problems (parse failures) are included as unsuppressible findings.
 func Run(m *Module, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var diags []Diagnostic
+	diags, _ := RunStale(m, pkgs, analyzers)
+	return diags
+}
+
+// RunStale is Run plus a staleness audit: the second slice reports
+// every //lint:allow directive in pkgs that suppressed no finding
+// during this run, as unsuppressible "stale-allow" diagnostics. A
+// directive for a check that did not run (wrong package, analyzer not
+// selected) counts as stale — it is dead weight either way.
+func RunStale(m *Module, pkgs []*Package, analyzers []*Analyzer) (diags, stale []Diagnostic) {
+	var indices []*allowIndex
 	for _, pkg := range pkgs {
-		idx := buildAllowIndex(pkg)
+		idx := buildAllowIndex(m.Dir, pkg)
+		indices = append(indices, idx)
 		for _, a := range analyzers {
 			if a.AppliesTo != nil && !a.AppliesTo(pkg.Path) {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, moduleDir: m.Dir, allow: idx, sink: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Mod: m, moduleDir: m.Dir, allow: idx, sink: &diags}
 			a.Run(pass)
 		}
 	}
+	diags = append(diags, m.LoadDiags...)
+	for _, idx := range indices {
+		for _, d := range idx.all {
+			if d.used {
+				continue
+			}
+			stale = append(stale, Diagnostic{
+				Check:    "stale-allow",
+				Analyzer: "stale-allow",
+				Path:     d.rel,
+				Line:     d.line,
+				Col:      d.col,
+				Message:  fmt.Sprintf("//lint:allow %s no longer suppresses any finding; remove it", d.check),
+			})
+		}
+	}
 	SortDiagnostics(diags)
-	return diags
+	SortDiagnostics(stale)
+	return diags, stale
+}
+
+// CountSuppressions returns the number of //lint:allow (check, site)
+// directives declared across pkgs — the repository's allow budget,
+// surfaced in CI job summaries.
+func CountSuppressions(m *Module, pkgs []*Package) int {
+	n := 0
+	for _, pkg := range pkgs {
+		n += len(buildAllowIndex(m.Dir, pkg).all)
+	}
+	return n
 }
 
 // SortDiagnostics orders findings by path, line, column, check name,
@@ -220,13 +304,24 @@ func FormatText(w io.Writer, diags []Diagnostic) error {
 	return nil
 }
 
-// FormatJSON writes findings as an indented JSON array (an empty
-// array, not null, when there are none) — the -json contract.
+// JSONSchemaVersion is the version stamped into -json output; bump it
+// on any incompatible change to the report shape.
+const JSONSchemaVersion = 1
+
+// jsonReport is the -json envelope.
+type jsonReport struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	Findings      []Diagnostic `json:"findings"`
+}
+
+// FormatJSON writes findings as an indented JSON object with a stable
+// schemaVersion and a findings array (an empty array, not null, when
+// there are none) — the -json contract.
 func FormatJSON(w io.Writer, diags []Diagnostic) error {
 	if diags == nil {
 		diags = []Diagnostic{}
 	}
-	data, err := json.MarshalIndent(diags, "", "  ")
+	data, err := json.MarshalIndent(jsonReport{SchemaVersion: JSONSchemaVersion, Findings: diags}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -234,9 +329,15 @@ func FormatJSON(w io.Writer, diags []Diagnostic) error {
 	return err
 }
 
-// Suite returns the shipped analyzers in their canonical order.
+// Suite returns the shipped analyzers in their canonical order. The
+// first six are the per-file invariant checks from the original
+// suite; the last five ride the interprocedural call graph
+// (callgraph.go) and the statement-flow walker (flow.go).
 func Suite() []*Analyzer {
-	return []*Analyzer{Determinism, MapOrder, RawGo, ErrDrop, SeedSplit, CtxFirst}
+	return []*Analyzer{
+		Determinism, MapOrder, RawGo, ErrDrop, SeedSplit, CtxFirst,
+		LockHeld, AtomicField, GoExit, ChanClose, CtxDrop,
+	}
 }
 
 // hasSegment reports whether any "/"-separated segment of path equals

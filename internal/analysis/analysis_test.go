@@ -148,6 +148,30 @@ func TestCtxFirstFixture(t *testing.T) {
 	runFixture(t, CtxFirst, "ctxfirst", "repro/fixtures/ctxfirst")
 }
 
+func TestLockHeldFixture(t *testing.T) {
+	// The fake path carries a "serve" segment so the analyzer's
+	// package configuration selects it.
+	runFixture(t, LockHeld, "lockheld", "repro/fixtures/lockheld/serve")
+}
+
+func TestAtomicFieldFixture(t *testing.T) {
+	runFixture(t, AtomicField, "atomicfield", "repro/fixtures/atomicfield")
+}
+
+func TestGoExitFixture(t *testing.T) {
+	// The fake path carries a "pipeline" segment so the analyzer's
+	// package configuration selects it.
+	runFixture(t, GoExit, "goexit", "repro/fixtures/goexit/pipeline")
+}
+
+func TestChanCloseFixture(t *testing.T) {
+	runFixture(t, ChanClose, "chanclose", "repro/fixtures/chanclose")
+}
+
+func TestCtxDropFixture(t *testing.T) {
+	runFixture(t, CtxDrop, "ctxdrop", "repro/fixtures/ctxdrop")
+}
+
 // TestAnalyzerConfiguration pins the package-specific configuration:
 // which packages each analyzer covers and which it exempts.
 func TestAnalyzerConfiguration(t *testing.T) {
@@ -165,46 +189,69 @@ func TestAnalyzerConfiguration(t *testing.T) {
 		{RawGo, "repro/internal/pipeline", false},
 		{RawGo, "repro/internal/core", true},
 		{RawGo, "repro/cmd/dbpal-bench", true},
+		{LockHeld, "repro/internal/serve", true},
+		{LockHeld, "repro/internal/registry", true},
+		{LockHeld, "repro/internal/cache", true},
+		{LockHeld, "repro/internal/par", true},
+		{LockHeld, "repro/internal/pipeline", true},
+		{LockHeld, "repro/internal/engine", false},
+		{GoExit, "repro/internal/par", true},
+		{GoExit, "repro/internal/pipeline", true},
+		{GoExit, "repro/internal/serve", true},
+		{GoExit, "repro/internal/registry", true},
+		{GoExit, "repro/internal/cache", false},
+		{GoExit, "repro/internal/models", false},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.AppliesTo(c.path); got != c.applies {
 			t.Errorf("%s.AppliesTo(%q) = %v, want %v", c.analyzer.Name, c.path, got, c.applies)
 		}
 	}
-	for _, a := range []*Analyzer{Determinism, ErrDrop, SeedSplit, CtxFirst} {
+	for _, a := range []*Analyzer{Determinism, ErrDrop, SeedSplit, CtxFirst, AtomicField, ChanClose, CtxDrop} {
 		if a.AppliesTo != nil {
 			t.Errorf("%s should apply to every package", a.Name)
 		}
 	}
+	if len(Suite()) != 11 {
+		t.Errorf("Suite() has %d analyzers, want 11", len(Suite()))
+	}
 }
 
-// TestJSONOutputShape pins the -json contract byte-for-byte.
+// TestJSONOutputShape pins the -json contract byte-for-byte:
+// schemaVersion envelope, per-finding analyzer + suppressible fields.
 func TestJSONOutputShape(t *testing.T) {
 	diags := []Diagnostic{
-		{Check: "determinism", Path: "cmd/x/main.go", Line: 3, Col: 7, Message: "time.Now reads the wall clock"},
-		{Check: "errdrop", Path: "internal/y/y.go", Line: 10, Col: 2, Message: "error result of f.Close is discarded"},
+		{Check: "determinism", Analyzer: "determinism", Path: "cmd/x/main.go", Line: 3, Col: 7, Message: "time.Now reads the wall clock", Suppressible: true},
+		{Check: "parse", Analyzer: "load", Path: "internal/y/y.go", Line: 10, Col: 2, Message: "file failed to parse and was skipped: expected ';'"},
 	}
 	var buf bytes.Buffer
 	if err := FormatJSON(&buf, diags); err != nil {
 		t.Fatal(err)
 	}
 	got := buf.String()
-	wantJSON := `[
-  {
-    "check": "determinism",
-    "path": "cmd/x/main.go",
-    "line": 3,
-    "col": 7,
-    "message": "time.Now reads the wall clock"
-  },
-  {
-    "check": "errdrop",
-    "path": "internal/y/y.go",
-    "line": 10,
-    "col": 2,
-    "message": "error result of f.Close is discarded"
-  }
-]
+	wantJSON := `{
+  "schemaVersion": 1,
+  "findings": [
+    {
+      "check": "determinism",
+      "analyzer": "determinism",
+      "path": "cmd/x/main.go",
+      "line": 3,
+      "col": 7,
+      "message": "time.Now reads the wall clock",
+      "suppressible": true
+    },
+    {
+      "check": "parse",
+      "analyzer": "load",
+      "path": "internal/y/y.go",
+      "line": 10,
+      "col": 2,
+      "message": "file failed to parse and was skipped: expected ';'",
+      "suppressible": false
+    }
+  ]
+}
 `
 	if got != wantJSON {
 		t.Errorf("JSON output mismatch:\ngot:\n%s\nwant:\n%s", got, wantJSON)
@@ -214,8 +261,38 @@ func TestJSONOutputShape(t *testing.T) {
 	if err := FormatJSON(&buf, nil); err != nil {
 		t.Fatal(err)
 	}
-	if buf.String() != "[]\n" {
-		t.Errorf("empty findings must encode as [], got %q", buf.String())
+	wantEmpty := "{\n  \"schemaVersion\": 1,\n  \"findings\": []\n}\n"
+	if buf.String() != wantEmpty {
+		t.Errorf("empty findings must encode as %q, got %q", wantEmpty, buf.String())
+	}
+}
+
+// TestJSONByteStable asserts -json output is byte-identical across
+// runs regardless of the order findings were produced in.
+func TestJSONByteStable(t *testing.T) {
+	scrambled := [][]Diagnostic{
+		{
+			{Check: "b", Analyzer: "b", Path: "b.go", Line: 2, Col: 1, Message: "m1", Suppressible: true},
+			{Check: "a", Analyzer: "a", Path: "a.go", Line: 9, Col: 1, Message: "m2", Suppressible: true},
+			{Check: "a", Analyzer: "a", Path: "a.go", Line: 2, Col: 5, Message: "m3", Suppressible: true},
+		},
+		{
+			{Check: "a", Analyzer: "a", Path: "a.go", Line: 2, Col: 5, Message: "m3", Suppressible: true},
+			{Check: "b", Analyzer: "b", Path: "b.go", Line: 2, Col: 1, Message: "m1", Suppressible: true},
+			{Check: "a", Analyzer: "a", Path: "a.go", Line: 9, Col: 1, Message: "m2", Suppressible: true},
+		},
+	}
+	var outs []string
+	for _, diags := range scrambled {
+		SortDiagnostics(diags)
+		var buf bytes.Buffer
+		if err := FormatJSON(&buf, diags); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.String())
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("JSON output depends on production order:\nfirst:\n%s\nsecond:\n%s", outs[0], outs[1])
 	}
 }
 
@@ -263,8 +340,14 @@ func TestModuleClean(t *testing.T) {
 		t.Skip("full-module lint is not a -short test")
 	}
 	m := loadRepo(t)
-	diags := Run(m, m.Pkgs, Suite())
+	diags, stale := RunStale(m, m.Pkgs, Suite())
 	for _, d := range diags {
 		t.Errorf("%s:%d:%d: [%s] %s", d.Path, d.Line, d.Col, d.Check, d.Message)
+	}
+	// Every //lint:allow in the tree must be earning its keep: a
+	// directive that suppresses nothing is reported here and by
+	// `dbpal-lint -stale-allow` alike.
+	for _, d := range stale {
+		t.Errorf("stale allow at %s:%d: %s", d.Path, d.Line, d.Message)
 	}
 }

@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: a
+// field that is ever accessed through sync/atomic anywhere in the
+// module must never be read or written plainly, and a field of an
+// atomic.* type (Int64, Bool, Pointer[T], Value, ...) must only be
+// used through its methods or by address — never copied by value.
+// Structs containing such fields must not have value-receiver
+// methods (the receiver copy tears the atomic).
+//
+// The "accessed atomically somewhere" fact set is module-wide: a
+// plain read in package A of a field that package B updates with
+// atomic.AddInt64 is exactly the cross-package race this exists to
+// catch.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly or copied by value",
+	Run:  runAtomicField,
+}
+
+var (
+	atomicMu    sync.Mutex
+	atomicFacts = map[*Module]map[*types.Var]bool{}
+	atomicExt   = map[*Package]map[*types.Var]bool{}
+)
+
+// atomicFieldSet returns the module-wide set of struct fields whose
+// address is passed to a sync/atomic function, memoized per module
+// (and per fixture package layered on top).
+func atomicFieldSet(m *Module, extra *Package) map[*types.Var]bool {
+	atomicMu.Lock()
+	defer atomicMu.Unlock()
+	base := atomicFacts[m]
+	if base == nil {
+		base = map[*types.Var]bool{}
+		for _, pkg := range m.Pkgs {
+			gatherAtomicFields(pkg, base)
+		}
+		atomicFacts[m] = base
+	}
+	if extra == nil || containsPkg(m.Pkgs, extra) {
+		return base
+	}
+	if set, ok := atomicExt[extra]; ok {
+		return set
+	}
+	set := map[*types.Var]bool{}
+	for v := range base {
+		set[v] = true
+	}
+	gatherAtomicFields(extra, set)
+	atomicExt[extra] = set
+	return set
+}
+
+func gatherAtomicFields(pkg *Package, set map[*types.Var]bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := CalleeOf(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					if v := fieldVarOf(pkg.Info, sel); v != nil {
+						set[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func runAtomicField(p *Pass) {
+	set := atomicFieldSet(p.Mod, p.Pkg)
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.FuncDecl:
+				checkValueReceiver(p, set, v)
+			case *ast.SelectorExpr:
+				fv := fieldVarOf(info, v)
+				if fv == nil {
+					return true
+				}
+				if set[fv] && !isAtomicArg(info, parents, v) {
+					p.Reportf(v.Sel.Pos(),
+						"field %s is accessed with sync/atomic elsewhere in the module; this plain access races with it",
+						fv.Name())
+					return true
+				}
+				if isAtomicType(fv.Type()) && isValueUse(parents, v) {
+					p.Reportf(v.Sel.Pos(),
+						"atomic field %s used as a value (copies the atomic); call its methods or take its address",
+						fv.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicArg reports that sel appears as &sel directly inside a
+// sync/atomic call — the one legal plain mention of an
+// atomically-accessed field.
+func isAtomicArg(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	p := skipParens(parents, sel)
+	un, ok := p.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := skipParens(parents, un).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := CalleeOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// isValueUse reports that an atomic-typed field selector is used as a
+// plain value: not the base of a method selector (c.n.Load()), not
+// under & (legal: pass the atomic by pointer), and not merely an
+// intermediate of a longer field path.
+func isValueUse(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := skipParens(parents, sel).(type) {
+	case *ast.SelectorExpr:
+		// c.n.Load(): sel is the base of a further selection —
+		// method call or deeper path, not a copy.
+		return ast.Unparen(p.X) != ast.Expr(sel)
+	case *ast.UnaryExpr:
+		return p.Op != token.AND
+	}
+	return true
+}
+
+// checkValueReceiver flags value-receiver methods on structs that
+// contain atomically-accessed or atomic-typed fields.
+func checkValueReceiver(p *Pass, set map[*types.Var]bool, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return
+	}
+	recvType := fd.Recv.List[0].Type
+	if _, isPtr := ast.Unparen(recvType).(*ast.StarExpr); isPtr {
+		return
+	}
+	t := p.TypeOf(recvType)
+	if t == nil {
+		return
+	}
+	strct, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	for i := 0; i < strct.NumFields(); i++ {
+		fld := strct.Field(i)
+		if set[fld] || isAtomicType(fld.Type()) {
+			p.Reportf(fd.Recv.List[0].Pos(),
+				"method %s has a value receiver but field %s is atomic; the receiver copy tears it",
+				fd.Name.Name, fld.Name())
+			return
+		}
+	}
+}
+
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}
+
+// parentMap records each node's syntactic parent within a file.
+func parentMap(f *ast.File) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanClose enforces channel-ownership discipline module-wide: only
+// the sending side closes a channel, no double-close is reachable,
+// and no send happens after a reachable close. Each function body —
+// and each non-immediately-invoked literal, which runs as its own
+// goroutine or callback — is one ownership scope:
+//
+//   - close(ch) in a scope that receives from ch but neither makes
+//     nor sends on it is a receiver-side close (the sender will panic
+//     on its next send);
+//   - a second close (or a close after defer close, or a second defer
+//     close) of the same channel on one path double-closes;
+//   - a send after a close on the same path panics.
+//
+// The closed-set is path-sensitive with a may-closed (union) join, so
+// `if done { close(ch) }; ch <- v` is flagged. Known limitations:
+// facts do not cross function boundaries or loop back-edges, and
+// channels are identified by expression spelling, so aliases escape.
+var ChanClose = &Analyzer{
+	Name: "chanclose",
+	Doc:  "sender-side closes only; no reachable double-close or send-after-close",
+	Run:  runChanClose,
+}
+
+type chanState struct {
+	closed   map[string]token.Pos // closed on this path
+	deferred map[string]token.Pos // close scheduled for function exit
+}
+
+func (s *chanState) fork() flowState {
+	cp := &chanState{
+		closed:   make(map[string]token.Pos, len(s.closed)),
+		deferred: make(map[string]token.Pos, len(s.deferred)),
+	}
+	for k, v := range s.closed {
+		cp.closed[k] = v
+	}
+	for k, v := range s.deferred {
+		cp.deferred[k] = v
+	}
+	return cp
+}
+
+// join keeps a channel closed if ANY joining path closed it
+// (may-closed).
+func (s *chanState) join(other flowState) {
+	o := other.(*chanState)
+	for k, v := range o.closed {
+		if _, ok := s.closed[k]; !ok {
+			s.closed[k] = v
+		}
+	}
+	for k, v := range o.deferred {
+		if _, ok := s.deferred[k]; !ok {
+			s.deferred[k] = v
+		}
+	}
+}
+
+func runChanClose(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			chanCloseScope(p, fd.Body)
+			for _, lit := range collectFuncLits(fd.Body) {
+				chanCloseScope(p, lit.Body)
+			}
+		}
+	}
+}
+
+// chanCloseScope runs both the ownership census and the path
+// analysis over one function scope.
+func chanCloseScope(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	census := chanCensus(info, body)
+
+	for _, cl := range census.closes {
+		key := types.ExprString(cl.Args[0])
+		if census.recvs[key] && !census.sends[key] && !census.makes[key] {
+			p.Reportf(cl.Pos(),
+				"close(%s) on the receiving side; only the sender may close (the sender will panic on its next send)",
+				key)
+		}
+	}
+
+	leaf := func(fs flowState, s ast.Stmt) {
+		cs := fs.(*chanState)
+		switch v := s.(type) {
+		case *ast.SelectStmt, *ast.RangeStmt:
+			return // headers; comm statements arrive as clause leaves
+		case *ast.DeferStmt:
+			if ch, ok := closeArg(v.Call); ok {
+				key := types.ExprString(ch)
+				if pos, dup := cs.deferred[key]; dup {
+					p.Reportf(v.Pos(), "duplicate deferred close(%s); also deferred at line %d (double close at return)",
+						key, p.Pkg.Fset.Position(pos).Line)
+				} else if pos, done := cs.closed[key]; done {
+					p.Reportf(v.Pos(), "deferred close(%s) after close at line %d (double close at return)",
+						key, p.Pkg.Fset.Position(pos).Line)
+				} else {
+					cs.deferred[key] = v.Pos()
+				}
+			}
+			return
+		default:
+			inspectLeaf(s, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.CallExpr:
+					if ch, ok := closeArg(v); ok {
+						key := types.ExprString(ch)
+						switch {
+						case hasKey(cs.closed, key):
+							p.Reportf(v.Pos(), "close(%s) reachable after close at line %d (double close)",
+								key, p.Pkg.Fset.Position(cs.closed[key]).Line)
+						case hasKey(cs.deferred, key):
+							p.Reportf(v.Pos(), "close(%s) with a deferred close pending from line %d (double close at return)",
+								key, p.Pkg.Fset.Position(cs.deferred[key]).Line)
+						default:
+							cs.closed[key] = v.Pos()
+						}
+					}
+				case *ast.SendStmt:
+					key := types.ExprString(v.Chan)
+					if hasKey(cs.closed, key) {
+						p.Reportf(v.Pos(), "send on %s reachable after close at line %d (panics)",
+							key, p.Pkg.Fset.Position(cs.closed[key]).Line)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	st := &chanState{closed: map[string]token.Pos{}, deferred: map[string]token.Pos{}}
+	walkFlow(body, st, flowFuncs{stmt: leaf})
+}
+
+func hasKey(m map[string]token.Pos, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+// closeArg matches the builtin close(ch) call.
+func closeArg(call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+type censusInfo struct {
+	closes []*ast.CallExpr
+	sends  map[string]bool
+	recvs  map[string]bool
+	makes  map[string]bool
+}
+
+// chanCensus records, per scope, which channel expressions are
+// closed, sent on, received from, and locally made. A make(chan) not
+// directly bound to an identifier (e.g. inside a composite literal)
+// conservatively marks every channel in the scope as possibly owned,
+// keeping the receiver-side rule quiet where ownership is real but
+// syntactically invisible.
+func chanCensus(info *types.Info, body *ast.BlockStmt) censusInfo {
+	c := censusInfo{sends: map[string]bool{}, recvs: map[string]bool{}, makes: map[string]bool{}}
+	anonMake := false
+	bound := map[*ast.CallExpr]bool{}
+	recordMake := func(lhs, rhs ast.Expr) {
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isMakeChan(info, rhs) {
+			c.makes[types.ExprString(lhs)] = true
+			bound[call] = true
+		}
+	}
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope
+		case *ast.SendStmt:
+			c.sends[types.ExprString(v.Chan)] = true
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				c.recvs[types.ExprString(v.X)] = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil && isChanType(t) {
+				c.recvs[types.ExprString(v.X)] = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range v.Lhs {
+				if i < len(v.Rhs) {
+					recordMake(lhs, v.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range v.Names {
+				if i < len(v.Values) {
+					recordMake(name, v.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			if _, ok := closeArg(v); ok {
+				c.closes = append(c.closes, v)
+			} else if isMakeChan(info, v) && !bound[v] {
+				// make(chan) used as a value (composite literal
+				// field, call argument): owner invisible here.
+				anonMake = true
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if anonMake {
+		// Ownership is real but untracked; silence the receiver-side
+		// rule for this scope rather than guess.
+		for k := range c.recvs {
+			c.makes[k] = true
+		}
+	}
+	return c
+}
+
+func isMakeChan(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) == 0 {
+		return false
+	}
+	t := info.TypeOf(call)
+	return t != nil && isChanType(t)
+}

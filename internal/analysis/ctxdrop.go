@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDrop closes the gap ctxfirst cannot see: accepting a
+// context.Context is a promise that cancellation works, so the
+// received ctx must actually reach the function's blocking work.
+// Three rules, all scoped to functions that declare a named ctx
+// parameter:
+//
+//  1. drop: ctx is never used anywhere in the body even though the
+//     function may block — cancellation is silently broken.
+//  2. detach: a call passes a literal context.Background() or
+//     context.TODO() while ctx is in scope, cutting the cancellation
+//     chain (deriving fresh contexts via the context package itself
+//     is exempt only when fed from ctx).
+//  3. unbounded: a blocking callee that cannot accept any context —
+//     an in-process wait (channel/sync) or a model call with no
+//     context-taking variant — is invoked synchronously, so this
+//     function's caller cannot cancel it. Bound it (par.Await, a
+//     context-aware wrapper) or annotate why it is safe.
+//
+// Calls inside go statements, defer statements, and non-inline
+// function literals are not charged to this function (they run
+// elsewhere); network I/O callees are exempt from rule 3 because
+// their deadlines are configured on clients/listeners, not contexts.
+var CtxDrop = &Analyzer{
+	Name: "ctxdrop",
+	Doc:  "a received context.Context must flow into the function's blocking work",
+	Run:  runCtxDrop,
+}
+
+func runCtxDrop(p *Pass) {
+	g := p.Graph()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParam(p.Pkg.Info, fd)
+			if ctxParam == nil {
+				continue
+			}
+			checkCtxDrop(p, g, fd, ctxParam)
+		}
+	}
+}
+
+// contextParam returns the object of fd's first named context.Context
+// parameter, or nil.
+func contextParam(info *types.Info, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && obj.Type().String() == "context.Context" {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func checkCtxDrop(p *Pass, g *CallGraph, fd *ast.FuncDecl, ctxParam types.Object) {
+	info := p.Pkg.Info
+
+	// Rule 1: ctx never used while the function may block.
+	used := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == ctxParam {
+			used = true
+		}
+		return !used
+	})
+	if !used {
+		fn, _ := info.Defs[fd.Name].(*types.Func)
+		if node := g.NodeOf(fn); node != nil && node.Blocking {
+			p.Reportf(ctxParam.Pos(), "ctx is accepted but never used, and %s may block (%s); cancellation is broken here",
+				fd.Name.Name, node.BlockReason)
+		}
+		return // rules 2-3 would be noise on top
+	}
+
+	// Rules 2 and 3 look at synchronous calls only.
+	var visit func(ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt, *ast.DeferStmt:
+			return false // runs elsewhere / at exit
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(v.Fun).(*ast.FuncLit); ok {
+				for _, arg := range v.Args {
+					ast.Inspect(arg, visit)
+				}
+				ast.Inspect(lit.Body, visit)
+				return false
+			}
+			checkCall(p, g, fd, v)
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+func checkCall(p *Pass, g *CallGraph, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	callee := CalleeOf(info, call)
+
+	// Rule 2: literal Background()/TODO() argument detaches the
+	// cancellation chain.
+	calleePkg := ""
+	if callee != nil && callee.Pkg() != nil {
+		calleePkg = callee.Pkg().Path()
+	}
+	if calleePkg != "context" {
+		for _, arg := range call.Args {
+			if isFreshContext(info, arg) {
+				p.Reportf(arg.Pos(), "passes a fresh %s to %s while ctx is in scope; the cancellation chain is cut",
+					types.ExprString(arg), calleeName(call))
+			}
+		}
+	}
+
+	// Rule 3: synchronous call into an in-process wait or model call
+	// that cannot observe any context.
+	if callee == nil {
+		return
+	}
+	if o := callee.Origin(); o != nil {
+		callee = o
+	}
+	if enclosing, ok := info.Defs[fd.Name].(*types.Func); ok && callee == enclosing {
+		return // recursion: the callee's own ctx handling is this one's
+	}
+	if sigAcceptsContext(callee.Type()) {
+		return
+	}
+	kind, why, blocking := g.BlockingCall(p.Pkg, call)
+	if !blocking {
+		return
+	}
+	switch kind {
+	case KindChan, KindSyncWait, KindModel:
+		p.Reportf(call.Pos(), "blocking call %s cannot observe ctx (%s); bound it or use a context-aware variant",
+			calleeName(call), why)
+	}
+}
+
+// isFreshContext matches literal context.Background() / context.TODO()
+// call expressions.
+func isFreshContext(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := CalleeOf(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}
+
+func calleeName(call *ast.CallExpr) string {
+	if name, ok := callName(call); ok {
+		return name
+	}
+	return "callee"
+}

@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// flow.go is the lightweight intraprocedural dataflow layer: a
+// statement-order walker that threads an analyzer-defined abstract
+// state through a function body, forking at branches, joining at
+// merge points, and dropping paths that provably terminate (return,
+// break, continue, goto — branch statements conservatively end their
+// path's contribution to the join). Loop bodies are walked once and
+// joined back into the entry state (zero-or-more iterations); facts
+// carried across iterations of the same loop are out of scope, which
+// the analyzers document as a known limitation.
+//
+// Contract for the callbacks:
+//   - stmt(st, s) is called for every leaf statement in control-flow
+//     order, and additionally for *ast.SelectStmt and *ast.RangeStmt
+//     "headers" before their bodies are walked — the analyzer must
+//     inspect only the header there (the select's blocking point, the
+//     range operand), never descend into the bodies, which the walker
+//     visits itself.
+//   - expr(st, e) is called for conditions, switch tags/case values,
+//     and range operands.
+//
+// Both callbacks mutate st in place.
+type flowState interface {
+	// fork returns an independent copy for one branch of a split.
+	fork() flowState
+	// join folds another branch's end state into the receiver; the
+	// analyzer chooses the lattice (intersection for must-facts like
+	// "lock held", union for may-facts like "channel closed").
+	join(other flowState)
+}
+
+type flowFuncs struct {
+	stmt func(st flowState, s ast.Stmt)
+	expr func(st flowState, e ast.Expr)
+	// comm, when set, receives a select clause's communication
+	// statement instead of stmt. The channel operation there is part
+	// of the select the walker already delivered as a header, not an
+	// independent blocking point; analyzers that would double-report
+	// it (lockheld) install a comm handler, analyzers that track
+	// state changes through it (chanclose) leave comm nil and take
+	// the statement through the ordinary leaf path.
+	comm func(st flowState, s ast.Stmt)
+}
+
+// walkFlow runs fn over body starting from st and returns the end
+// state plus whether every path through body terminates the function.
+func walkFlow(body *ast.BlockStmt, st flowState, fn flowFuncs) (flowState, bool) {
+	return flowStmts(body.List, st, fn)
+}
+
+func flowStmts(list []ast.Stmt, st flowState, fn flowFuncs) (flowState, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = flowStmt(s, st, fn)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func flowStmt(s ast.Stmt, st flowState, fn flowFuncs) (flowState, bool) {
+	switch v := s.(type) {
+	case nil:
+		return st, false
+
+	case *ast.BlockStmt:
+		return flowStmts(v.List, st, fn)
+
+	case *ast.LabeledStmt:
+		return flowStmt(v.Stmt, st, fn)
+
+	case *ast.IfStmt:
+		if v.Init != nil {
+			st, _ = flowStmt(v.Init, st, fn)
+		}
+		if fn.expr != nil {
+			fn.expr(st, v.Cond)
+		}
+		thenSt, thenTerm := flowStmts(v.Body.List, st.fork(), fn)
+		elseSt, elseTerm := st, false
+		if v.Else != nil {
+			elseSt, elseTerm = flowStmt(v.Else, st.fork(), fn)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return thenSt, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			thenSt.join(elseSt)
+			return thenSt, false
+		}
+
+	case *ast.ForStmt:
+		if v.Init != nil {
+			st, _ = flowStmt(v.Init, st, fn)
+		}
+		if v.Cond != nil && fn.expr != nil {
+			fn.expr(st, v.Cond)
+		}
+		bodySt, bodyTerm := flowStmts(v.Body.List, st.fork(), fn)
+		if !bodyTerm {
+			if v.Post != nil {
+				bodySt, _ = flowStmt(v.Post, bodySt, fn)
+			}
+			st.join(bodySt)
+		}
+		return st, false
+
+	case *ast.RangeStmt:
+		if fn.stmt != nil {
+			fn.stmt(st, v) // header notification (range operand)
+		}
+		bodySt, bodyTerm := flowStmts(v.Body.List, st.fork(), fn)
+		if !bodyTerm {
+			st.join(bodySt)
+		}
+		return st, false
+
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			st, _ = flowStmt(v.Init, st, fn)
+		}
+		if v.Tag != nil && fn.expr != nil {
+			fn.expr(st, v.Tag)
+		}
+		return flowCases(v.Body.List, st, fn)
+
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			st, _ = flowStmt(v.Init, st, fn)
+		}
+		if fn.stmt != nil {
+			fn.stmt(st, v.Assign)
+		}
+		return flowCases(v.Body.List, st, fn)
+
+	case *ast.SelectStmt:
+		if fn.stmt != nil {
+			fn.stmt(st, v) // header notification (the blocking point)
+		}
+		var outs []flowState
+		for _, cl := range v.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clSt := st.fork()
+			if cc.Comm != nil {
+				if fn.comm != nil {
+					fn.comm(clSt, cc.Comm)
+				} else {
+					clSt, _ = flowStmt(cc.Comm, clSt, fn)
+				}
+			}
+			clSt, term := flowStmts(cc.Body, clSt, fn)
+			if !term {
+				outs = append(outs, clSt)
+			}
+		}
+		if len(outs) == 0 && len(v.Body.List) > 0 {
+			return st, true // every clause returns
+		}
+		return joinAll(st, outs), false
+
+	case *ast.ReturnStmt:
+		if fn.stmt != nil {
+			fn.stmt(st, v)
+		}
+		return st, true
+
+	case *ast.BranchStmt:
+		if fn.stmt != nil {
+			fn.stmt(st, v)
+		}
+		return st, true // ends this path's contribution to the join
+
+	default:
+		// Leaf: ExprStmt, AssignStmt, SendStmt, IncDecStmt, DeclStmt,
+		// DeferStmt, GoStmt, EmptyStmt.
+		if fn.stmt != nil {
+			fn.stmt(st, s)
+		}
+		return st, false
+	}
+}
+
+// flowCases walks switch/type-switch clauses as alternative branches;
+// without a default clause the entry state is one more alternative.
+func flowCases(list []ast.Stmt, st flowState, fn flowFuncs) (flowState, bool) {
+	var outs []flowState
+	hasDefault := false
+	for _, cl := range list {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		clSt := st.fork()
+		if fn.expr != nil {
+			for _, e := range cc.List {
+				fn.expr(clSt, e)
+			}
+		}
+		clSt, term := flowStmts(cc.Body, clSt, fn)
+		if !term {
+			outs = append(outs, clSt)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, st)
+	}
+	if len(outs) == 0 {
+		return st, true
+	}
+	return joinAll(st, outs), false
+}
+
+func joinAll(entry flowState, outs []flowState) flowState {
+	if len(outs) == 0 {
+		return entry
+	}
+	res := outs[0]
+	for _, o := range outs[1:] {
+		res.join(o)
+	}
+	return res
+}
+
+// collectFuncLits returns every function literal in body that is not
+// invoked immediately at its definition site. Immediately-invoked
+// literals execute inline and are analyzed as part of the enclosing
+// flow; all others run later or on another goroutine and are analyzed
+// as functions of their own.
+func collectFuncLits(body *ast.BlockStmt) []*ast.FuncLit {
+	iife := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				iife[lit] = true
+			}
+		}
+		return true
+	})
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && !iife[lit] {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	return lits
+}
+
+// inspectLeaf walks a leaf statement's expressions, skipping function
+// literals except immediately-invoked ones (whose bodies run inline).
+func inspectLeaf(s ast.Node, visit func(ast.Node) bool) {
+	var walk func(ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+				if !visit(call) {
+					return false
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, walk)
+				}
+				ast.Inspect(lit.Body, walk)
+				return false
+			}
+		}
+		return visit(n)
+	}
+	ast.Inspect(s, walk)
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoExit demands a provable exit path for every goroutine launched in
+// the concurrency packages — the zero-goroutine-leak invariant the
+// chaos suites can only sample. A spawned body passes when:
+//
+//   - it contains no loops (straight-line goroutines finish), and
+//   - every infinite `for` loop in it lexically contains a return, a
+//     goto, or a break that targets that loop (a `break` inside a
+//     nested select/switch does NOT count — the classic leak), and
+//   - every `for range ch` over a channel the *spawner* makes is
+//     matched by a close(ch) somewhere in the spawner (including its
+//     other literals, e.g. a feeder goroutine that closes on exit).
+//
+// Known limitations: loops hidden behind function calls are not
+// followed; channels received as parameters or fields are assumed to
+// be closed by their owner; conditional loops (`for cond {}`) are
+// assumed to terminate.
+var GoExit = &Analyzer{
+	Name: "goexit",
+	Doc:  "every go statement must have a provable exit path (return/break out of loops, ranged channels closed by the spawner)",
+	AppliesTo: func(pkgPath string) bool {
+		for _, seg := range []string{"par", "pipeline", "serve", "registry"} {
+			if hasSegment(pkgPath, seg) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runGoExit,
+}
+
+func runGoExit(p *Pass) {
+	g := p.Graph()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, g, fd, gs)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(p *Pass, g *CallGraph, spawner *ast.FuncDecl, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if node := g.NodeOf(CalleeOf(p.Pkg.Info, gs.Call)); node != nil {
+			body = node.Decl.Body
+		}
+	}
+	if body == nil {
+		p.Reportf(gs.Pos(), "goroutine target cannot be resolved statically; no provable exit path")
+		return
+	}
+	for _, loop := range topLevelLoops(body) {
+		switch v := loop.stmt.(type) {
+		case *ast.ForStmt:
+			if v.Cond == nil && !loopExits(v, loop.label) {
+				p.Reportf(gs.Pos(), "goroutine runs an infinite loop (line %d) with no return or break out of it",
+					p.Pkg.Fset.Position(v.Pos()).Line)
+			}
+		case *ast.RangeStmt:
+			checkRangedChannel(p, spawner, gs, v)
+		}
+	}
+}
+
+// labeledLoop pairs a loop with its label (if any).
+type labeledLoop struct {
+	stmt  ast.Stmt
+	label string
+}
+
+// topLevelLoops collects every for/range statement in body, skipping
+// nested function literals (they run elsewhere; their own go
+// statements are checked where they are launched).
+func topLevelLoops(body *ast.BlockStmt) []labeledLoop {
+	var loops []labeledLoop
+	labels := map[ast.Stmt]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.LabeledStmt:
+			labels[v.Stmt] = v.Label.Name
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, labeledLoop{stmt: n.(ast.Stmt), label: labels[n.(ast.Stmt)]})
+		}
+		return true
+	})
+	return loops
+}
+
+// loopExits reports whether an infinite for loop lexically contains a
+// way out: a return, a goto (assumed to leave), or a break targeting
+// this loop. Breakable-statement nesting is tracked so an unlabeled
+// break inside a select/switch/inner loop is correctly NOT counted.
+func loopExits(loop *ast.ForStmt, label string) bool {
+	exits := false
+	depth := 0 // breakable statements between a break and our loop
+	var stack []bool
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if n == nil {
+			if len(stack) > 0 {
+				if stack[len(stack)-1] {
+					depth--
+				}
+				stack = stack[:len(stack)-1]
+			}
+			return true
+		}
+		if exits {
+			return false
+		}
+		breakable := false
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exits = true
+			return false
+		case *ast.BranchStmt:
+			switch {
+			case v.Tok == token.GOTO:
+				exits = true
+			case v.Tok == token.BREAK && v.Label == nil && depth == 0:
+				exits = true
+			case v.Tok == token.BREAK && v.Label != nil && label != "" && v.Label.Name == label:
+				exits = true
+			}
+			return false
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			breakable = true
+			depth++
+		}
+		stack = append(stack, breakable)
+		return true
+	})
+	return exits
+}
+
+// checkRangedChannel flags `for range ch` in a goroutine when ch is a
+// channel the spawning function makes but never closes — the ranging
+// goroutine can then never finish.
+func checkRangedChannel(p *Pass, spawner *ast.FuncDecl, gs *ast.GoStmt, rng *ast.RangeStmt) {
+	info := p.Pkg.Info
+	if t := info.TypeOf(rng.X); t == nil || !isChanType(t) {
+		return
+	}
+	id, ok := ast.Unparen(rng.X).(*ast.Ident)
+	if !ok {
+		return // field/indexed channels: owner closes, out of scope
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || !madeInFunc(info, spawner, v) {
+		return // parameters, fields, captures from farther out
+	}
+	if !closesVar(info, spawner.Body, v) {
+		p.Reportf(gs.Pos(), "goroutine ranges over %s, which the spawner makes but never closes", id.Name)
+	}
+}
+
+// madeInFunc reports that v is bound to a make(chan ...) result
+// within fd's body.
+func madeInFunc(info *types.Info, fd *ast.FuncDecl, v *types.Var) bool {
+	made := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if made {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || (info.Defs[id] != v && info.Uses[id] != v) {
+				continue
+			}
+			if i < len(assign.Rhs) {
+				if call, ok := ast.Unparen(assign.Rhs[i]).(*ast.CallExpr); ok {
+					if fn, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && fn.Name == "make" {
+						made = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return made
+}
+
+// closesVar reports a close(v) call anywhere in body, including
+// inside nested literals (a feeder goroutine closing on exit counts).
+func closesVar(info *types.Info, body *ast.BlockStmt, v *types.Var) bool {
+	closed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if closed {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "close" || len(call.Args) != 1 {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && info.Uses[id] == v {
+			closed = true
+		}
+		return true
+	})
+	return closed
+}

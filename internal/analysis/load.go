@@ -3,12 +3,15 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -30,6 +33,11 @@ type Module struct {
 	// Pkgs holds every non-test package of the module, sorted by
 	// import path. Command (package main) directories are included.
 	Pkgs []*Package
+	// LoadDiags reports loader-level problems that did not abort the
+	// load — today, files that failed to parse and were skipped. Run
+	// folds them into the findings as unsuppressible diagnostics so a
+	// broken file can never silently shrink the analyzed surface.
+	LoadDiags []Diagnostic
 
 	ldr *loader
 }
@@ -62,12 +70,13 @@ type Package struct {
 }
 
 type loader struct {
-	fset    *token.FileSet
-	dir     string
-	modPath string
-	std     types.Importer
-	info    *types.Info
-	pkgs    map[string]*pkgState
+	fset      *token.FileSet
+	dir       string
+	modPath   string
+	std       types.Importer
+	info      *types.Info
+	pkgs      map[string]*pkgState
+	loadDiags []Diagnostic
 }
 
 type pkgState struct {
@@ -117,6 +126,7 @@ func LoadModule(dir string) (*Module, error) {
 		}
 	}
 	sort.Slice(m.Pkgs, func(i, j int) bool { return m.Pkgs[i].Path < m.Pkgs[j].Path })
+	m.LoadDiags = l.loadDiags
 	return m, nil
 }
 
@@ -129,6 +139,7 @@ func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
 		return nil, err
 	}
 	pkgs, err := m.ldr.parseDirAs(abs, importPath)
+	m.LoadDiags = m.ldr.loadDiags
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +223,15 @@ func (l *loader) parseDirAs(dir, importPath string) ([]*Package, error) {
 		full := filepath.Join(dir, name)
 		file, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: parse %s: %w", full, err)
+			// A broken file must not abort the whole load (one bad
+			// edit would blind every analyzer) and must not vanish
+			// silently either: record an unsuppressible finding and
+			// analyze the rest of the package without it.
+			l.parseFailure(full, err)
+			continue
+		}
+		if excludedByBuildTags(file) {
+			continue
 		}
 		pkgName := file.Name.Name
 		p := byName[pkgName]
@@ -248,6 +267,72 @@ func (l *loader) parseDirAs(dir, importPath string) ([]*Package, error) {
 		pkgs = append(pkgs, p)
 	}
 	return pkgs, nil
+}
+
+// parseFailure records a skipped-file diagnostic for a file
+// go/parser rejected, anchored at the first syntax error.
+func (l *loader) parseFailure(full string, err error) {
+	line, col := 1, 1
+	msg := err.Error()
+	var el scanner.ErrorList
+	if ok := errorsAs(err, &el); ok && len(el) > 0 {
+		line, col = el[0].Pos.Line, el[0].Pos.Column
+		msg = el[0].Msg
+	}
+	rel := full
+	if r, rerr := filepath.Rel(l.dir, full); rerr == nil {
+		rel = filepath.ToSlash(r)
+	}
+	l.loadDiags = append(l.loadDiags, Diagnostic{
+		Check:    "parse",
+		Analyzer: "load",
+		Path:     rel,
+		Line:     line,
+		Col:      col,
+		Message:  "file failed to parse and was skipped: " + msg,
+	})
+}
+
+func errorsAs(err error, target *scanner.ErrorList) bool {
+	el, ok := err.(scanner.ErrorList)
+	if ok {
+		*target = el
+	}
+	return ok
+}
+
+// excludedByBuildTags reports whether a //go:build (or legacy
+// // +build) constraint before the package clause evaluates false for
+// this platform — the same files `go build` would skip. Known tags are
+// GOOS, GOARCH, "gc", and go1.x release tags; anything else (custom
+// tags like "integration") counts as unset.
+func excludedByBuildTags(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() >= file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			if !expr.Eval(buildTagSet) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func buildTagSet(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
 }
 
 // check type-checks p, checking its module-internal dependencies

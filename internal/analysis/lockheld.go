@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld enforces the serving stack's "short critical sections"
+// contract in the concurrency-heavy packages: a sync.Mutex/RWMutex
+// must never be held across a blocking operation (channel op, select
+// without default, network/model call, any callee the call graph
+// marks as may-block), and a method must not call another method on
+// the same receiver that re-acquires a lock it already holds
+// (self-deadlock). Lock state is tracked path-sensitively with a
+// must-hold lattice: a lock is "held" at a point only if every path
+// reaching it acquired and did not release. defer mu.Unlock() keeps
+// the lock held to the end of the function, as it does at run time.
+//
+// Known limitations (by design, to stay quiet): locks passed by
+// pointer to helpers are not tracked across the call; blocking
+// operations inside deferred calls are not charged to the lock; facts
+// do not survive loop back-edges.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no mutex held across a blocking call, and no self-re-locking method call under that mutex",
+	AppliesTo: func(pkgPath string) bool {
+		for _, seg := range []string{"serve", "registry", "cache", "par", "pipeline"} {
+			if hasSegment(pkgPath, seg) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runLockHeld,
+}
+
+type lockState struct {
+	held map[string]token.Pos // lock expression ("b.mu") -> acquire position
+}
+
+func (s *lockState) fork() flowState {
+	cp := &lockState{held: make(map[string]token.Pos, len(s.held))}
+	for k, v := range s.held {
+		cp.held[k] = v
+	}
+	return cp
+}
+
+// join keeps only locks held on both paths (must-hold).
+func (s *lockState) join(other flowState) {
+	o := other.(*lockState)
+	for k := range s.held {
+		if _, ok := o.held[k]; !ok {
+			delete(s.held, k)
+		}
+	}
+}
+
+func runLockHeld(p *Pass) {
+	g := p.Graph()
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverObj(p.Pkg.Info, fd)
+			lockHeldBody(p, g, fd.Body, recv)
+			for _, lit := range collectFuncLits(fd.Body) {
+				// A closure capturing the receiver can lock its
+				// fields too; analyze each literal as its own
+				// function under the same receiver.
+				lockHeldBody(p, g, lit.Body, recv)
+			}
+		}
+	}
+}
+
+func lockHeldBody(p *Pass, g *CallGraph, body *ast.BlockStmt, recv types.Object) {
+	info := p.Pkg.Info
+
+	scan := func(fs flowState, node ast.Node) {
+		ls := fs.(*lockState)
+		inspectLeaf(node, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if lockExpr, acquire, ok := MutexLockCall(info, v); ok {
+					key := types.ExprString(lockExpr)
+					if acquire {
+						ls.held[key] = v.Pos()
+					} else {
+						delete(ls.held, key)
+					}
+					return true
+				}
+				if len(ls.held) == 0 {
+					return true
+				}
+				reportRelock(p, g, ls, v, recv)
+				if _, why, blocking := g.BlockingCall(p.Pkg, v); blocking {
+					for lock := range ls.held {
+						p.Reportf(v.Pos(), "mutex %s held across blocking call: %s", lock, why)
+					}
+				}
+			case *ast.SendStmt:
+				for lock := range ls.held {
+					p.Reportf(v.Pos(), "mutex %s held across channel send", lock)
+				}
+			case *ast.UnaryExpr:
+				if v.Op == token.ARROW {
+					for lock := range ls.held {
+						p.Reportf(v.Pos(), "mutex %s held across channel receive", lock)
+					}
+				}
+			case *ast.SelectStmt:
+				// Reached only through an immediately-invoked literal;
+				// the walker delivers top-level selects as headers.
+				if !selectHasDefault(v) {
+					for lock := range ls.held {
+						p.Reportf(v.Pos(), "mutex %s held across select without default", lock)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	leaf := func(fs flowState, s ast.Stmt) {
+		ls := fs.(*lockState)
+		switch v := s.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() holds the lock to function end: keep
+			// the held fact (correct for everything that follows).
+			// Other deferred work runs at return and is not charged
+			// to the current lock state.
+			return
+		case *ast.SelectStmt:
+			if !selectHasDefault(v) {
+				for lock := range ls.held {
+					p.Reportf(v.Pos(), "mutex %s held across select without default", lock)
+				}
+			}
+			return
+		case *ast.RangeStmt:
+			if t := info.TypeOf(v.X); t != nil && isChanType(t) {
+				for lock := range ls.held {
+					p.Reportf(v.X.Pos(), "mutex %s held across range over a channel", lock)
+				}
+			}
+			scan(fs, v.X)
+			return
+		default:
+			scan(fs, s)
+		}
+	}
+
+	st := &lockState{held: map[string]token.Pos{}}
+	walkFlow(body, st, flowFuncs{
+		stmt: leaf,
+		expr: func(fs flowState, e ast.Expr) { scan(fs, e) },
+		// Select comm clauses are the select's own channel ops; the
+		// header finding covers them, so they are not re-flagged.
+		comm: func(flowState, ast.Stmt) {},
+	})
+}
+
+// reportRelock flags recv.Method() calls whose callee locks a
+// receiver mutex field the caller already holds.
+func reportRelock(p *Pass, g *CallGraph, ls *lockState, call *ast.CallExpr, recv types.Object) {
+	if recv == nil {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || p.Pkg.Info.Uses[id] != recv {
+		return
+	}
+	node := g.NodeOf(CalleeOf(p.Pkg.Info, call))
+	if node == nil {
+		return
+	}
+	for _, field := range node.RecvLocks {
+		key := id.Name + "." + field
+		if _, held := ls.held[key]; held {
+			p.Reportf(call.Pos(), "call to %s re-acquires %s, which is already held (self-deadlock)",
+				shortName(node.Obj), key)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Fixture for the atomicfield analyzer: all-or-nothing atomicity on
+// struct fields.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // accessed via sync/atomic below: plain access races
+	misc  int64 // never touched atomically: plain access is fine
+	flag  atomic.Bool
+	slot  atomic.Pointer[int]
+	plain int
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1) // establishes the module-wide fact
+	c.flag.Store(true)
+	c.slot.Store(new(int))
+}
+
+func reads(c *counters) int64 {
+	a := c.hits // want "field hits is accessed with sync/atomic elsewhere"
+	c.hits = 0  // want "field hits is accessed with sync/atomic elsewhere"
+	b := atomic.LoadInt64(&c.hits)
+	d := c.misc // never atomic anywhere: fine
+	c.plain++
+	return a + b + d
+}
+
+// Atomic-typed fields must not be copied by value.
+func copies(c *counters) {
+	f := c.flag // want "atomic field flag used as a value"
+	_ = f
+	use(c.slot)         // want "atomic field slot used as a value"
+	ok := c.flag.Load() // method call on the field: fine
+	_ = ok
+	p := &c.slot // address-of: fine
+	_ = p
+}
+
+func use(v atomic.Pointer[int]) { _ = v }
+
+// Value receivers on structs with atomic fields copy the atomics.
+type gauge struct {
+	n atomic.Int64
+}
+
+func (g gauge) Read() int64 { // want "value receiver but field n is atomic"
+	return 0
+}
+
+func (g *gauge) Add() { g.n.Add(1) } // pointer receiver: fine
+
+// Negative: a struct without atomic fields may use value receivers.
+type plainBox struct{ v int }
+
+func (b plainBox) Get() int { return b.v }

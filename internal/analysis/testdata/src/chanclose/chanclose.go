@@ -1,0 +1,81 @@
+// Fixture for the chanclose analyzer: sender-side closes only, no
+// reachable double-close, no send after close.
+package chanclose
+
+// Only the sender may close: a scope that receives from a channel it
+// neither makes nor sends on must not close it.
+func receiverCloses(ch chan int) {
+	v := <-ch
+	_ = v
+	close(ch) // want "on the receiving side"
+}
+
+// The maker/sender closing is the contract.
+func senderCloses() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// A straight-line double close panics.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "double close"
+}
+
+// May-closed join: closed on one branch is closed enough to flag the
+// send that follows on the merged path.
+func sendAfterMaybeClose(stop bool) {
+	ch := make(chan int, 1)
+	if stop {
+		close(ch)
+	}
+	ch <- 1 // want "send on ch reachable after close"
+}
+
+// A path that terminates after closing contributes nothing to the
+// merge: the send below is safe.
+func closeAndReturn(stop bool) {
+	ch := make(chan int, 1)
+	if stop {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// Two deferred closes of the same channel double-close at return.
+func doubleDefer() {
+	ch := make(chan int)
+	defer close(ch)
+	defer close(ch) // want "duplicate deferred close"
+}
+
+// A plain close with a deferred close pending double-closes at
+// return.
+func closeUnderDefer() {
+	ch := make(chan int)
+	defer close(ch)
+	close(ch) // want "deferred close pending"
+}
+
+// Known limitation: facts do not survive loop back-edges, so a close
+// repeated across iterations is not caught.
+func closeInLoop() {
+	ch := make(chan int)
+	for i := 0; i < 2; i++ {
+		close(ch) // not caught: loop-carried double close
+	}
+}
+
+// Each literal is its own ownership scope: the feeder goroutine makes
+// no claim on channels it only sends to and closes (sender-side).
+func feeder() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+	return ch
+}

@@ -1,0 +1,75 @@
+// Fixture for the ctxdrop analyzer: a received context.Context must
+// flow into the function's blocking work.
+package ctxdrop
+
+import (
+	"context"
+	"sync"
+)
+
+type model interface {
+	Translate(nl string) string
+	TranslateContext(ctx context.Context, nl string) string
+}
+
+func helper(ctx context.Context, n int) int { <-ctx.Done(); return n }
+
+// Rule 1: ctx accepted but never used while the function blocks.
+func dropped(ctx context.Context, ch chan int) int { // want "ctx is accepted but never used"
+	return <-ch
+}
+
+// Using ctx anywhere counts; an unused ctx in a non-blocking helper
+// is harmless (no finding).
+func harmless(ctx context.Context, n int) int {
+	return n + 1
+}
+
+// Rule 2: a literal Background/TODO argument cuts the cancellation
+// chain.
+func detaches(ctx context.Context) {
+	helper(context.Background(), 1) // want "fresh context.Background"
+	helper(ctx, 2)
+}
+
+// Deriving through the context package itself is exempt: WithTimeout
+// needs a parent, and flagging the constructor would double-report
+// the real problem (the detached use site).
+func derives(ctx context.Context) {
+	sub, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	helper(sub, 1)
+	helper(ctx, 2)
+}
+
+// Rule 3: an in-process wait that cannot accept any context is
+// invisible to this function's caller.
+func unboundedWait(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	wg.Wait() // want "cannot observe ctx"
+}
+
+// Model calls without a context variant are flagged the same way...
+func unboundedModel(ctx context.Context, m model) string {
+	_ = ctx
+	return m.Translate("count users") // want "cannot observe ctx"
+}
+
+// ...and threading ctx through the context-aware variant passes.
+func boundedModel(ctx context.Context, m model) string {
+	return m.TranslateContext(ctx, "count users")
+}
+
+// An intentional unbounded join carries a written reason.
+func allowedWait(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	wg.Wait() //lint:allow ctxdrop fixture exercises suppression plumbing
+}
+
+// Calls inside go/defer statements run elsewhere or at exit and are
+// not charged to this function (known limitation by design).
+func asyncWait(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	defer wg.Wait()
+	go wg.Wait()
+}

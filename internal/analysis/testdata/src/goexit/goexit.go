@@ -1,0 +1,116 @@
+// Fixture for the goexit analyzer: every go statement needs a
+// provable exit path. Loaded under the fake path
+// repro/fixtures/goexit/pipeline so the analyzer's package selection
+// covers it.
+package pipeline
+
+import "context"
+
+// An infinite loop with no way out leaks the goroutine.
+func spinner() {
+	go func() { // want "infinite loop .* no return or break"
+		for {
+		}
+	}()
+}
+
+// The classic bug: break inside a select breaks the select, not the
+// loop — the goroutine never exits.
+func selectBreak(ctx context.Context, ch chan int) {
+	go func() { // want "infinite loop .* no return or break"
+		for {
+			select {
+			case <-ctx.Done():
+				break
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// Returning out of the select is the correct idiom.
+func selectReturn(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// A labeled break targeting the loop also exits.
+func labeledBreak(ctx context.Context, ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-ch:
+			}
+		}
+	}()
+}
+
+// Ranging over a channel the spawner makes but never closes can
+// never finish.
+func rangeNoClose() {
+	ch := make(chan int)
+	go func() { // want "ranges over ch, which the spawner makes but never closes"
+		for range ch {
+		}
+	}()
+	ch <- 1
+}
+
+// The spawner closing the channel (even from another goroutine it
+// launches, like a feeder) is the exit path.
+func rangeWithClose() {
+	ch := make(chan int)
+	go func() {
+		for range ch {
+		}
+	}()
+	go func() {
+		ch <- 1
+		close(ch)
+	}()
+}
+
+// Known limitation: a channel received as a parameter is assumed to
+// be closed by its owner.
+func rangeParam(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// Known limitation: conditional loops are assumed to terminate.
+func condLoop(n int) {
+	go func() {
+		for n > 0 {
+			n--
+		}
+	}()
+}
+
+// A dynamic target cannot be proved to exit.
+func dynamic(fn func()) {
+	go fn() // want "cannot be resolved statically"
+}
+
+// A named function with a proper exit path passes when launched.
+func worker(ch chan int) {
+	for range ch {
+	}
+}
+
+func launchNamed() {
+	ch := make(chan int)
+	go worker(ch)
+	close(ch)
+}

@@ -1,0 +1,104 @@
+// Fixture for the lockheld analyzer: mutexes held across blocking
+// operations and self-re-locking method calls. Loaded under the fake
+// path repro/fixtures/lockheld/serve so the analyzer's package
+// selection covers it.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu    sync.Mutex
+	state int
+	ch    chan int
+}
+
+func slow(ctx context.Context) { <-ctx.Done() } // blocks: channel receive
+
+func napping() { time.Sleep(time.Millisecond) } // blocking via time.Sleep
+
+// Blocking intrinsics and calls under a held lock are flagged.
+func (g *guarded) bad(ctx context.Context) {
+	g.mu.Lock()
+	<-g.ch    // want "mutex g.mu held across channel receive"
+	g.ch <- 1 // want "mutex g.mu held across channel send"
+	slow(ctx) // want "mutex g.mu held across blocking call"
+	napping() // want "mutex g.mu held across blocking call"
+	g.mu.Unlock()
+}
+
+// defer Unlock keeps the lock held to function end.
+func (g *guarded) badDefer(ctx context.Context) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	slow(ctx) // want "mutex g.mu held across blocking call"
+}
+
+// Selects without default block; with default they do not.
+func (g *guarded) selects(done chan struct{}) {
+	g.mu.Lock()
+	select { // want "mutex g.mu held across select without default"
+	case <-done:
+	}
+	select {
+	case <-done:
+	default:
+	}
+	g.mu.Unlock()
+}
+
+// Releasing before the blocking work is the contract; not flagged.
+func (g *guarded) good(ctx context.Context) {
+	g.mu.Lock()
+	g.state++
+	g.mu.Unlock()
+	slow(ctx)
+}
+
+// relock locks the receiver's mutex; calling it with g.mu already
+// held is a self-deadlock.
+func (g *guarded) relock() {
+	g.mu.Lock()
+	g.state++
+	g.mu.Unlock()
+}
+
+func (g *guarded) deadlocks() {
+	g.mu.Lock()
+	g.relock() // want "re-acquires g.mu"
+	g.mu.Unlock()
+}
+
+// Must-hold join: the lock is released on one path, so it is not
+// provably held afterwards — no finding (path-insensitivity would
+// over-report here).
+func (g *guarded) mayUnlock(ctx context.Context, early bool) {
+	g.mu.Lock()
+	if early {
+		g.mu.Unlock()
+	}
+	slow(ctx)
+	if !early {
+		g.mu.Unlock()
+	}
+}
+
+// Known limitation: blocking work inside a deferred closure runs at
+// return while the deferred Unlock may still be pending; the analyzer
+// does not charge deferred calls to the lock state.
+func (g *guarded) deferredBlocking(ctx context.Context) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	defer slow(ctx) // no finding: deferred calls are out of scope
+	g.state++
+}
+
+// Suppressed: an allow directive silences an intentional exception.
+func (g *guarded) allowed(ctx context.Context) {
+	g.mu.Lock()
+	slow(ctx) //lint:allow lockheld fixture exercises suppression plumbing
+	g.mu.Unlock()
+}

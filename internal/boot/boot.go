@@ -264,7 +264,10 @@ func Train(ctx context.Context, m models.Translator, exs []models.Example, opts 
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	m.Train(exs)
+	// Models without TrainContext train uninterruptibly by design;
+	// ctx is checked immediately above, and the registry bounds the
+	// whole onboarding with WaitCtx at shutdown.
+	m.Train(exs) //lint:allow ctxdrop legacy Translator.Train has no context variant; ctx checked just above and shutdown is bounded by Registry.WaitCtx
 	return nil
 }
 

@@ -126,7 +126,10 @@ feed:
 		}
 	}
 	close(idx)
-	wg.Wait()
+	// Bounded: close(idx) above ends every worker's range loop, and a
+	// cancelled ctx stops feeding first, so this join finishes as soon
+	// as in-flight items do.
+	wg.Wait() //lint:allow ctxdrop workers exit once idx is closed (closed on every path above); the join is bounded by in-flight work
 	if panicked != nil {
 		panic(fmt.Sprintf("par: worker panic: %v", panicked))
 	}

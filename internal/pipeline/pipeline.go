@@ -258,7 +258,10 @@ func (g *Graph) Run(ctx context.Context, emit func(Pair) error) error {
 			}
 		}
 	}
-	wg.Wait()
+	// Bounded: the range over in above only ends after every stage
+	// closed its output (defer close on unwind), so all stage
+	// goroutines are already returning when this join runs.
+	wg.Wait() //lint:allow ctxdrop stage goroutines close their outputs on unwind before this join; cancellation drains via the stage chain
 	for i := 1; i < len(g.stats); i++ {
 		g.stats[i].In = g.stats[i-1].Out
 	}

@@ -358,8 +358,17 @@ func (r *Registry) Remove(name string) bool {
 }
 
 // Wait blocks until every background onboarding has returned (after
-// cancelling their context via the caller's shutdown path).
+// cancelling their context via the caller's shutdown path). It is
+// unbounded; shutdown paths with a deadline should use WaitCtx.
 func (r *Registry) Wait() { r.wg.Wait() }
+
+// WaitCtx is Wait bounded by ctx: it returns ctx.Err() if the
+// onboardings have not all returned by then. A misbehaving model can
+// then cost at most a leaked goroutine on exit, never a hung
+// shutdown.
+func (r *Registry) WaitCtx(ctx context.Context) error {
+	return par.Await(ctx, r.wg.Wait)
+}
 
 func (r *Registry) logf(format string, args ...any) {
 	if r.cfg.Logf != nil {

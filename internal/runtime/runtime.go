@@ -790,14 +790,14 @@ func (tr *Translator) FinalizeCandidates(candidates [][]string, bindings []Bindi
 func (tr *Translator) tierCandidates(ctx context.Context, model models.Translator, nl []string) [][]string {
 	if tr.ExecutionGuided > 1 {
 		if kt, ok := model.(KTranslator); ok {
-			return kt.TranslateK(nl, tr.schema, tr.ExecutionGuided)
+			return kt.TranslateK(nl, tr.schema, tr.ExecutionGuided) //lint:allow ctxdrop KTranslator has no context variant; tryTier bounds this whole call with par.Await under the tier deadline
 		}
 	}
 	var out []string
 	if ct, ok := model.(models.ContextTranslator); ok {
 		out = ct.TranslateContext(ctx, nl, tr.schema)
 	} else {
-		out = model.Translate(nl, tr.schema)
+		out = model.Translate(nl, tr.schema) //lint:allow ctxdrop plain Translator has no context variant; tryTier bounds this whole call with par.Await under the tier deadline
 	}
 	if len(out) == 0 {
 		return nil

@@ -153,7 +153,10 @@ func (b *Batcher) Do(ctx context.Context, nl []string) ([]string, error) {
 	if full {
 		cur.timer.Stop()
 		b.flushFull.Add(1)
-		b.decode(cur)
+		// The request that fills the batch donates its goroutine to
+		// decode for everyone; its own ctx still exits early through
+		// the select below, and dead-ctx items are dropped by decode.
+		b.decode(cur) //lint:allow ctxdrop the flusher decodes the whole batch by design; per-item cancellation is honored via it.done/ctx.Done below
 	}
 	select {
 	case <-it.done:

@@ -313,12 +313,19 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // Shutdown drains, cancels in-flight onboarding (its training writes a
 // final checkpoint, so a later process resumes where it stopped), and
 // then stops the listener started by Start, waiting for in-flight
-// requests to finish until ctx expires.
+// requests to finish until ctx expires. The onboarding join is
+// bounded by the same ctx — a tenant whose model ignores
+// cancellation costs at most a goroutine at exit, never a hung
+// SIGTERM — and the HTTP listener is stopped regardless, so the
+// drain deadline is honored end to end.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
 	s.onboardCancel()
-	s.reg.Wait()
-	return s.http.Shutdown(ctx)
+	waitErr := s.reg.WaitCtx(ctx)
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	return waitErr
 }
 
 // ---------------------------------------------------------------------
