@@ -1,0 +1,15 @@
+package analysis
+
+import "testing"
+
+func TestProbeSwitchBreak(t *testing.T) {
+	m := loadRepo(t)
+	pkg, err := m.LoadDir("testdata/src/probe", "repro/internal/serve/probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(m, []*Package{pkg}, []*Analyzer{LockHeld})
+	for _, d := range diags {
+		t.Logf("%s:%d: %s", d.Path, d.Line, d.Message)
+	}
+}
