@@ -5,6 +5,14 @@
 //
 //	dbpal-eval -load patients.model -model sketch
 //	dbpal-eval -train -failures
+//	dbpal-eval -critic -schema flights -critic-questions 200
+//
+// -critic switches to the execution-guided critic comparison: a model
+// is bootstrapped for -schema, a spider-style workload is sampled, and
+// every question's candidate beam is finalized twice — with and
+// without the critic — reporting the valid-SQL rate, exact-match
+// rate, repair count, and rejection count of each arm. The report is
+// bit-identical at any -workers count.
 package main
 
 import (
@@ -18,8 +26,11 @@ import (
 
 	dbpal "repro"
 	"repro/internal/boot"
+	"repro/internal/critic"
 	"repro/internal/eval"
+	"repro/internal/fault"
 	"repro/internal/patients"
+	"repro/internal/spider"
 )
 
 func main() {
@@ -31,6 +42,14 @@ func main() {
 		seed       = flag.Int64("seed", 1, "pipeline/training seed for -train")
 		execGuided = flag.Int("execguided", 1, "try up to N ranked candidates per question")
 		workers    = flag.Int("workers", 0, "evaluation worker-pool bound (0 = all cores)")
+
+		criticOn  = flag.Bool("critic", false, "run the critic-on/off comparison on a spider-style workload instead of the Patients benchmark")
+		schemaN   = flag.String("schema", "patients", "schema for the -critic workload: patients | flights | ... | synth:<seed>")
+		criticQs  = flag.Int("critic-questions", 200, "workload size for -critic")
+		rowBudget = flag.Int("critic-budget", 0, "critic dry-run row budget (0 = default)")
+		criticTO  = flag.Duration("critic-timeout", 0, "critic dry-run deadline (0 = default)")
+		rows      = flag.Int("rows", 40, "synthetic rows per table for non-patients schemas")
+		corrupt   = flag.Int("corrupt", 0, "with -critic: inject identifier typos into one-in-N questions' decodes to exercise repair (0 = off)")
 	)
 	flag.Parse()
 
@@ -38,6 +57,19 @@ func main() {
 	// completed so far is still printed (flagged as partial).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *criticOn {
+		if err := runCritic(ctx, criticConfig{
+			schema: *schemaN, model: *modelKind, loadPath: *loadPath, seed: *seed,
+			rows: *rows, questions: *criticQs, execGuided: *execGuided, workers: *workers,
+			corrupt: *corrupt,
+			critic:  critic.Config{RowBudget: *rowBudget, Timeout: *criticTO, Seed: *seed},
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Model construction goes through the shared boot path: -load reads
 	// saved weights, -train runs the full bootstrap (the same steps
@@ -103,4 +135,57 @@ func main() {
 	if evalErr != nil {
 		os.Exit(1)
 	}
+}
+
+// criticConfig parameterizes the -critic comparison run.
+type criticConfig struct {
+	schema, model, loadPath string
+	seed                    int64
+	rows, questions         int
+	execGuided, workers     int
+	corrupt                 int
+	critic                  critic.Config
+}
+
+// runCritic bootstraps a model for the schema, samples the workload,
+// and prints the critic-on/off comparison.
+func runCritic(ctx context.Context, cfg criticConfig) error {
+	u, err := boot.Build(ctx, boot.Spec{
+		Schema:   cfg.schema,
+		Model:    cfg.model,
+		LoadPath: cfg.loadPath,
+		Seed:     cfg.seed,
+		Rows:     cfg.rows,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	model := u.Model
+	if cfg.corrupt > 0 {
+		var cols []string
+		for _, t := range u.Schema.Tables {
+			for _, c := range t.Columns {
+				cols = append(cols, c.Name)
+			}
+		}
+		model = fault.NewTypos(model, fault.NewInjector(cfg.seed, cfg.corrupt), cols)
+	}
+	qs := spider.Workload(u.Schema, cfg.questions, cfg.seed+7919)
+	rep, evalErr := eval.EvalCriticCtx(ctx, model, u.Schema, u.DB, qs, cfg.execGuided, cfg.critic, cfg.workers)
+	if evalErr != nil {
+		fmt.Fprintf(os.Stderr, "evaluation interrupted (%v): partial report over %d/%d questions\n",
+			evalErr, rep.Questions, len(qs))
+	}
+	fmt.Printf("\nExecution-guided critic (schema %s, %d questions, %s model, execguided %d)\n",
+		u.Schema.Name, rep.Questions, model.Name(), cfg.execGuided)
+	fmt.Printf("  critic off  %s\n", rep.Off)
+	fmt.Printf("  critic on   %s\n", rep.On)
+	fmt.Printf("  valid-rate delta: %+.3f\n", rep.On.Valid.Acc()-rep.Off.Valid.Acc())
+	if evalErr != nil {
+		return fmt.Errorf("partial: %w", evalErr)
+	}
+	return nil
 }

@@ -66,6 +66,10 @@ func main() {
 		breakers = flag.Bool("breakers", true, "run a circuit breaker per translator tier")
 		cooldown = flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before the half-open probe")
 
+		criticOn  = flag.Bool("critic", true, "validate and repair every candidate through the execution-guided critic before answering")
+		rowBudget = flag.Int("critic-budget", 0, "critic dry-run row budget (0 = default)")
+		criticTO  = flag.Duration("critic-timeout", 0, "critic dry-run deadline (0 = default)")
+
 		cacheSize = flag.Int("cache-size", 1024, "anonymization-keyed result cache entries per model version (0 = no cache)")
 		batchMax  = flag.Int("batch-max", 8, "microbatch size: concurrent decodes share one batched forward pass (0 or 1 = no batching)")
 		batchWait = flag.Duration("batch-wait", 2*time.Millisecond, "max time a partial microbatch waits before flushing")
@@ -82,6 +86,7 @@ func main() {
 		seed: *seed, rows: *rows, execGuided: *execGuided, deadline: *deadline, fallback: *fallback,
 		workers: *workers, queue: *queue, timeout: *timeout, drain: *drain,
 		retries: *retries, breakers: *breakers, cooldown: *cooldown,
+		critic: *criticOn, criticBudget: *rowBudget, criticTimeout: *criticTO,
 		cacheSize: *cacheSize, batchMax: *batchMax, batchWait: *batchWait,
 		minAccuracy: *minAcc, evalQuestions: *evalQs,
 		checkpointDir: *ckptDir, checkpointEvery: *ckptEvery,
@@ -104,6 +109,9 @@ type config struct {
 	retries             int
 	breakers            bool
 	cooldown            time.Duration
+	critic              bool
+	criticBudget        int
+	criticTimeout       time.Duration
 	cacheSize, batchMax int
 	batchWait           time.Duration
 	minAccuracy         float64
@@ -157,6 +165,9 @@ func run(cfg config) error {
 		},
 		Breaker:         serve.BreakerConfig{Cooldown: cfg.cooldown},
 		DisableBreakers: !cfg.breakers,
+		Critic:          cfg.critic,
+		CriticRowBudget: cfg.criticBudget,
+		CriticTimeout:   cfg.criticTimeout,
 		CacheSize:       cfg.cacheSize,
 		BatchMax:        cfg.batchMax,
 		BatchWait:       cfg.batchWait,

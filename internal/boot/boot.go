@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/critic"
 	"repro/internal/engine"
 	"repro/internal/models"
 	"repro/internal/patients"
@@ -54,6 +55,16 @@ type Spec struct {
 	Deadline time.Duration
 	// Fallback adds a template nearest-neighbor degradation tier.
 	Fallback bool
+	// Critic enables the execution-guided validation-and-repair layer:
+	// every candidate is schema-checked, dry-run in a sandbox against
+	// the tenant's engine, and deterministically repaired before it can
+	// become an answer.
+	Critic bool
+	// CriticRowBudget caps environment rows per critic dry-run
+	// (0 = critic default).
+	CriticRowBudget int
+	// CriticTimeout bounds one critic dry-run (0 = critic default).
+	CriticTimeout time.Duration
 	// Params overrides the pipeline generation knobs (nil = defaults).
 	Params *core.Params
 	// Sketch / Seq2Seq override the model configuration (nil =
@@ -280,6 +291,13 @@ func Assemble(sp Spec, s *schema.Schema, db *engine.Database, m models.Translato
 	tr := runtime.NewTranslator(db, m)
 	tr.ExecutionGuided = sp.ExecGuided
 	tr.Deadline = sp.Deadline
+	if sp.Critic {
+		tr.Critic = critic.New(db, critic.Config{
+			RowBudget: sp.CriticRowBudget,
+			Timeout:   sp.CriticTimeout,
+			Seed:      sp.Seed,
+		})
+	}
 	if sp.Fallback && sp.Model != "nn" {
 		nn := models.NewNearestNeighbor()
 		nn.Train(exs)

@@ -1,0 +1,70 @@
+package critic
+
+import (
+	"testing"
+
+	"repro/internal/sqlast"
+)
+
+// FuzzCriticRepair holds the repair pass to its contract on arbitrary
+// parseable SQL: it never mutates its input, its output always
+// re-parses and renders stably, it is idempotent (repairing a repaired
+// query changes nothing), and it is byte-deterministic for a fixed
+// seed. The seed corpus is spider-workload-shaped SQL with the typo,
+// quoting, and grouping mistakes the rules target.
+func FuzzCriticRepair(f *testing.F) {
+	corpus := []string{
+		"SELECT name FROM patients",
+		"SELECT nme FROM patiens",
+		"SELECT patients.nam FROM patients WHERE ag > '50'",
+		"SELECT diagnosis, COUNT(*) FROM patients",
+		"SELECT diagnos, COUNT(*) FROM patiens GROUP BY diagnos",
+		"SELECT name FROM patients WHERE id IN (SELECT patient_idd FROM visits)",
+		"SELECT AVG(cost) FROM visits WHERE patient_id = '3'",
+		"SELECT name FROM patients WHERE age BETWEEN '20' AND '60'",
+		"SELECT name FROM patients WHERE age > (SELECT AVG(agee) FROM patients)",
+		"SELECT diagnosis FROM patients GROUP BY diagnosis HAVING COUNT(*) > '1'",
+		"SELECT xqzw FROM patients ORDER BY age2 DESC LIMIT 5",
+		"SELECT * FROM visits WHERE NOT cost = '100' AND patient_id = 1",
+	}
+	for _, sql := range corpus {
+		f.Add(sql)
+	}
+
+	a := New(testDB(f), Config{Seed: 42})
+	b := New(testDB(f), Config{Seed: 42})
+
+	f.Fuzz(func(t *testing.T, sql string) {
+		q, err := sqlast.Parse(sql)
+		if err != nil {
+			t.Skip()
+		}
+		orig := q.String()
+
+		rq, _, changed := a.Repair(q)
+		if q.String() != orig {
+			t.Fatalf("Repair mutated its input: %q -> %q", orig, q)
+		}
+		out := rq.String()
+
+		// The repaired output must re-parse, and render stably.
+		rq2, err := sqlast.Parse(out)
+		if err != nil {
+			t.Fatalf("repaired output %q does not re-parse: %v", out, err)
+		}
+		if rq2.String() != out {
+			t.Fatalf("repaired output renders unstably: %q -> %q", out, rq2)
+		}
+
+		// Idempotence: a repaired query has nothing left to repair.
+		if again, _, c2 := a.Repair(rq2); c2 {
+			t.Fatalf("Repair not idempotent: %q -> %q -> %q", orig, out, again)
+		}
+
+		// Byte-determinism: an independent same-seed critic agrees.
+		rb, _, cb := b.Repair(sqlast.MustParse(sql))
+		if cb != changed || rb.String() != out {
+			t.Fatalf("Repair diverged across same-seed critics: %q vs %q", out, rb)
+		}
+	})
+}

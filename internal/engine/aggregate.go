@@ -118,7 +118,7 @@ func (ex *executor) evalAggItem(sel sqlast.SelectItem, b *binding, g *group, key
 		return ex.computeAgg(sel, b, g.rows)
 	}
 	if sel.Star {
-		return Value{}, execErrorf("bare * is not valid in a grouped query")
+		return Value{}, execError(ErrGrouping, "bare * is not valid in a grouped query")
 	}
 	p, err := b.resolve(sel.Col)
 	if err != nil {
@@ -129,7 +129,7 @@ func (ex *executor) evalAggItem(sel sqlast.SelectItem, b *binding, g *group, key
 			return g.key[i], nil
 		}
 	}
-	return Value{}, execErrorf("column %q must appear in GROUP BY or inside an aggregate", sel.Col)
+	return Value{}, execError(ErrGrouping, "column %q must appear in GROUP BY or inside an aggregate", sel.Col)
 }
 
 // computeAgg computes one aggregate over the rows of a group.
@@ -172,7 +172,7 @@ func (ex *executor) computeAgg(sel sqlast.SelectItem, b *binding, rows []Row) (V
 		sum := 0.0
 		for _, v := range vals {
 			if !v.IsNum {
-				return Value{}, execErrorf("%s over non-numeric column %q", sel.Agg, sel.Col)
+				return Value{}, execError(ErrTypeMismatch, "%s over non-numeric column %q", sel.Agg, sel.Col)
 			}
 			sum += v.Num
 		}

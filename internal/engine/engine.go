@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -233,15 +234,89 @@ func sortedRowKeys(rows []Row) []string {
 	return keys
 }
 
+// ErrKind classifies an execution failure so callers (the critic, the
+// serving layer's breakers) can branch on what went wrong instead of
+// substring-matching the message.
+type ErrKind int
+
+// The failure taxonomy.
+const (
+	// ErrGeneric is any failure without a more specific kind.
+	ErrGeneric ErrKind = iota
+	// ErrUnknownTable: a FROM or select list names a table the
+	// database does not have.
+	ErrUnknownTable
+	// ErrUnknownColumn: a column reference resolves to no column of
+	// the FROM tables (including correlated subquery references,
+	// which are out of scope).
+	ErrUnknownColumn
+	// ErrAmbiguousColumn: an unqualified column name matches more
+	// than one FROM column.
+	ErrAmbiguousColumn
+	// ErrTypeMismatch: an operation requires a numeric column but got
+	// text (SUM/AVG over a text column).
+	ErrTypeMismatch
+	// ErrPlaceholder: the query still carries an unresolved @JOIN or
+	// value placeholder; it is a template, not an executable query.
+	ErrPlaceholder
+	// ErrArity: a subquery produced the wrong shape (column count or
+	// row count) for its position.
+	ErrArity
+	// ErrGrouping: aggregate/grouping misuse — a bare column outside
+	// GROUP BY, an aggregate where none is allowed, or vice versa.
+	ErrGrouping
+	// ErrRowBudget: execution was abandoned because it materialized
+	// more environment rows than the caller's budget allows.
+	ErrRowBudget
+)
+
+// String names the kind for messages and verdicts.
+func (k ErrKind) String() string {
+	switch k {
+	case ErrUnknownTable:
+		return "unknown_table"
+	case ErrUnknownColumn:
+		return "unknown_column"
+	case ErrAmbiguousColumn:
+		return "ambiguous_column"
+	case ErrTypeMismatch:
+		return "type_mismatch"
+	case ErrPlaceholder:
+		return "placeholder"
+	case ErrArity:
+		return "arity"
+	case ErrGrouping:
+		return "grouping"
+	case ErrRowBudget:
+		return "row_budget"
+	}
+	return "generic"
+}
+
 // ExecError reports an execution failure.
 type ExecError struct {
-	Msg string
+	Kind ErrKind
+	Msg  string
 }
 
 func (e *ExecError) Error() string { return "engine: " + e.Msg }
 
 func execErrorf(format string, args ...any) error {
 	return &ExecError{Msg: fmt.Sprintf(format, args...)}
+}
+
+func execError(kind ErrKind, format string, args ...any) error {
+	return &ExecError{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrKindOf returns the taxonomy kind of err: the ExecError kind if
+// err wraps one, ErrGeneric otherwise (including nil).
+func ErrKindOf(err error) ErrKind {
+	var ee *ExecError
+	if errors.As(err, &ee) {
+		return ee.Kind
+	}
+	return ErrGeneric
 }
 
 // Execute runs the query against the database. The query must be fully
@@ -252,8 +327,22 @@ func (db *Database) Execute(q *sqlast.Query) (*Result, error) {
 	return ex.query(q)
 }
 
+// ExecuteBudget runs the query with a row budget: execution aborts
+// with an ErrRowBudget failure once the cross product of the FROM
+// tables (across the query and its subqueries) materializes more than
+// budget environment rows. budget <= 0 means unbounded. Plain scans
+// with a LIMIT and no ordering/grouping/dedup stop enumerating as soon
+// as the limit is met, so a tight LIMIT keeps a huge scan within
+// budget.
+func (db *Database) ExecuteBudget(q *sqlast.Query, budget int) (*Result, error) {
+	ex := &executor{db: db, budget: budget}
+	return ex.query(q)
+}
+
 type executor struct {
-	db *Database
+	db      *Database
+	budget  int // max env rows to materialize; <= 0 unbounded
+	visited int // env rows materialized so far, all (sub)queries
 }
 
 // binding maps qualified column names to value positions in the
@@ -270,7 +359,7 @@ func (ex *executor) bind(tables []string) (*binding, error) {
 	for _, tn := range tables {
 		t, ok := ex.db.Tables[strings.ToLower(tn)]
 		if !ok {
-			return nil, execErrorf("unknown table %q", tn)
+			return nil, execError(ErrUnknownTable, "unknown table %q", tn)
 		}
 		b.tables = append(b.tables, strings.ToLower(tn))
 		for _, c := range t.Columns {
@@ -295,34 +384,53 @@ func (b *binding) resolve(c sqlast.ColumnRef) (int, error) {
 	}
 	positions, ok := b.cols[key]
 	if !ok || len(positions) == 0 {
-		return 0, execErrorf("unknown column %q", c)
+		return 0, execError(ErrUnknownColumn, "unknown column %q", c)
 	}
 	if len(positions) > 1 {
-		return 0, execErrorf("ambiguous column %q", c)
+		return 0, execError(ErrAmbiguousColumn, "ambiguous column %q", c)
 	}
 	return positions[0], nil
 }
 
-// env rows: concatenation of the current row of each FROM table.
-func (ex *executor) envRows(tables []string) ([]Row, error) {
-	rows := []Row{{}}
-	for _, tn := range tables {
+// forEachEnv streams the cross product of the FROM tables' rows (the
+// concatenation of one row per table, in row-major order), charging
+// each materialized row against the executor's budget. The row passed
+// to fn is only valid for the duration of the call — fn must copy
+// rows it keeps. fn returning false stops the walk early, which is
+// what lets a plain LIMIT scan finish within budget.
+func (ex *executor) forEachEnv(tables []string, fn func(Row) (bool, error)) error {
+	tabs := make([]*Table, len(tables))
+	width := 0
+	for i, tn := range tables {
 		t := ex.db.Tables[strings.ToLower(tn)]
 		if t == nil {
-			return nil, execErrorf("unknown table %q", tn)
+			return execError(ErrUnknownTable, "unknown table %q", tn)
 		}
-		var next []Row
-		for _, base := range rows {
-			for _, r := range t.Rows {
-				combined := make(Row, 0, len(base)+len(r))
-				combined = append(combined, base...)
-				combined = append(combined, r...)
-				next = append(next, combined)
+		tabs[i] = t
+		width += len(t.Columns)
+	}
+	env := make(Row, 0, width)
+	var walk func(i int) (bool, error)
+	walk = func(i int) (bool, error) {
+		if i == len(tabs) {
+			ex.visited++
+			if ex.budget > 0 && ex.visited > ex.budget {
+				return false, execError(ErrRowBudget, "row budget exceeded: %d environment rows materialized (budget %d)", ex.visited, ex.budget)
+			}
+			return fn(env)
+		}
+		mark := len(env)
+		for _, r := range tabs[i].Rows {
+			env = append(env[:mark], r...)
+			cont, err := walk(i + 1)
+			if err != nil || !cont {
+				return cont, err
 			}
 		}
-		rows = next
+		return true, nil
 	}
-	return rows, nil
+	_, err := walk(0)
+	return err
 }
 
 func (ex *executor) query(q *sqlast.Query) (*Result, error) {
@@ -330,7 +438,7 @@ func (ex *executor) query(q *sqlast.Query) (*Result, error) {
 		return nil, execErrorf("nil query")
 	}
 	if q.From.JoinPlaceholder {
-		return nil, execErrorf("cannot execute query with unresolved @JOIN placeholder")
+		return nil, execError(ErrPlaceholder, "cannot execute query with unresolved @JOIN placeholder")
 	}
 	if len(q.From.Tables) == 0 {
 		return nil, execErrorf("empty FROM clause")
@@ -342,22 +450,34 @@ func (ex *executor) query(q *sqlast.Query) (*Result, error) {
 	if err := ex.validateExpr(q.Where, b); err != nil {
 		return nil, err
 	}
-	all, err := ex.envRows(q.From.Tables)
+	grouped := len(q.GroupBy) > 0 || q.HasAggregate()
+	// A plain scan with a LIMIT and no ordering/grouping/dedup can stop
+	// as soon as the limit is satisfied: no later row changes the
+	// output, so early exit is observationally equivalent and keeps a
+	// huge cross product within the row budget.
+	earlyLimit := -1
+	if !grouped && len(q.OrderBy) == 0 && !q.Distinct && q.Limit >= 0 {
+		earlyLimit = q.Limit
+	}
+	var filtered []Row
+	err = ex.forEachEnv(q.From.Tables, func(row Row) (bool, error) {
+		if earlyLimit >= 0 && len(filtered) >= earlyLimit {
+			return false, nil
+		}
+		ok, err := ex.evalBool(q.Where, b, row)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			kept := make(Row, len(row))
+			copy(kept, row)
+			filtered = append(filtered, kept)
+		}
+		return true, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	var filtered []Row
-	for _, row := range all {
-		ok, err := ex.evalBool(q.Where, b, row)
-		if err != nil {
-			return nil, err
-		}
-		if ok {
-			filtered = append(filtered, row)
-		}
-	}
-
-	grouped := len(q.GroupBy) > 0 || q.HasAggregate()
 	var out *Result
 	if grouped {
 		out, err = ex.aggregate(q, b, filtered)
@@ -441,7 +561,7 @@ func (ex *executor) selectColumns(q *sqlast.Query, b *binding) ([]string, map[st
 			if sel.Col.Table != "" {
 				t := ex.db.Tables[strings.ToLower(sel.Col.Table)]
 				if t == nil {
-					return nil, nil, execErrorf("unknown table %q in select", sel.Col.Table)
+					return nil, nil, execError(ErrUnknownTable, "unknown table %q in select", sel.Col.Table)
 				}
 				cols = append(cols, t.Columns...)
 			} else {
@@ -477,7 +597,7 @@ func (ex *executor) orderPlain(q *sqlast.Query, b *binding, src []Row, res *Resu
 		var keys Row
 		for _, oi := range q.OrderBy {
 			if oi.Item.Agg != sqlast.AggNone {
-				return execErrorf("aggregate in ORDER BY requires GROUP BY context")
+				return execError(ErrGrouping, "aggregate in ORDER BY requires GROUP BY context")
 			}
 			p, err := b.resolve(oi.Item.Col)
 			if err != nil {

@@ -44,7 +44,7 @@ func (ex *executor) validateExpr(e sqlast.Expr, b *binding) error {
 	case sqlast.Exists:
 		return ex.validateSub(v.Query)
 	case sqlast.HavingCond:
-		return execErrorf("aggregate condition %q outside HAVING", v.String())
+		return execError(ErrGrouping, "aggregate condition %q outside HAVING", v.String())
 	default:
 		return nil
 	}
@@ -53,7 +53,7 @@ func (ex *executor) validateExpr(e sqlast.Expr, b *binding) error {
 // validateSub validates a subquery's own column references.
 func (ex *executor) validateSub(q *sqlast.Query) error {
 	if q.From.JoinPlaceholder {
-		return execErrorf("cannot execute query with unresolved @JOIN placeholder")
+		return execError(ErrPlaceholder, "cannot execute query with unresolved @JOIN placeholder")
 	}
 	sb, err := ex.bind(q.From.Tables)
 	if err != nil {
@@ -159,7 +159,7 @@ func (ex *executor) evalBool(e sqlast.Expr, b *binding, row Row) (bool, error) {
 		}
 		return exists, nil
 	case sqlast.HavingCond:
-		return false, execErrorf("aggregate condition %q outside HAVING", v.String())
+		return false, execError(ErrGrouping, "aggregate condition %q outside HAVING", v.String())
 	default:
 		return false, execErrorf("unsupported condition %T", e)
 	}
@@ -174,7 +174,7 @@ func (ex *executor) evalOperand(o sqlast.Operand, b *binding, row Row) (Value, e
 		}
 		return Str(v.Str), nil
 	case sqlast.Placeholder:
-		return Value{}, execErrorf("unresolved placeholder @%s (post-processing must substitute constants before execution)", v.Name)
+		return Value{}, execError(ErrPlaceholder, "unresolved placeholder @%s (post-processing must substitute constants before execution)", v.Name)
 	case sqlast.ColOperand:
 		p, err := b.resolve(v.Col)
 		if err != nil {
@@ -202,7 +202,7 @@ func (ex *executor) subquerySet(q *sqlast.Query) ([]Value, error) {
 		return nil, err
 	}
 	if len(res.Columns) != 1 {
-		return nil, execErrorf("IN subquery must produce exactly one column, got %d", len(res.Columns))
+		return nil, execError(ErrArity, "IN subquery must produce exactly one column, got %d", len(res.Columns))
 	}
 	out := make([]Value, len(res.Rows))
 	for i, r := range res.Rows {
@@ -220,13 +220,13 @@ func (ex *executor) subqueryScalar(q *sqlast.Query) (Value, error) {
 		return Value{}, err
 	}
 	if len(res.Columns) != 1 {
-		return Value{}, execErrorf("scalar subquery must produce exactly one column, got %d", len(res.Columns))
+		return Value{}, execError(ErrArity, "scalar subquery must produce exactly one column, got %d", len(res.Columns))
 	}
 	if len(res.Rows) == 0 {
 		return Null, nil
 	}
 	if len(res.Rows) > 1 {
-		return Value{}, execErrorf("scalar subquery produced %d rows", len(res.Rows))
+		return Value{}, execError(ErrArity, "scalar subquery produced %d rows", len(res.Rows))
 	}
 	return res.Rows[0][0], nil
 }

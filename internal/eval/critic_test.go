@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/boot"
+	"repro/internal/critic"
+	"repro/internal/fault"
+	"repro/internal/models"
+	"repro/internal/spider"
+)
+
+// corruptedFixture boots the instant-start template model for flights
+// and wraps it so half the workload's decodes carry repairable
+// identifier typos — the shape the critic exists to rescue.
+func corruptedFixture(t *testing.T) (*boot.Unit, models.Translator, []spider.Question) {
+	t.Helper()
+	u, err := boot.Build(context.Background(), boot.Spec{Schema: "flights", Model: "nn", Seed: 1, Rows: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols []string
+	for _, tab := range u.Schema.Tables {
+		for _, c := range tab.Columns {
+			cols = append(cols, c.Name)
+		}
+	}
+	model := fault.NewTypos(u.Model, fault.NewInjector(1, 2), cols)
+	qs := spider.Workload(u.Schema, 60, 1+7919)
+	return u, model, qs
+}
+
+// The acceptance bar for the critic tier: on a workload whose decodes
+// contain repairable mistakes, answering through the critic yields a
+// strictly higher valid-SQL rate than answering without it, and the
+// gain comes from repairs, not luck.
+func TestCriticStrictImprovement(t *testing.T) {
+	u, model, qs := corruptedFixture(t)
+	rep, err := EvalCriticCtx(context.Background(), model, u.Schema, u.DB, qs, 1, critic.Config{Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Questions != len(qs) {
+		t.Fatalf("Questions = %d, want %d", rep.Questions, len(qs))
+	}
+	if rep.On.Valid.Correct <= rep.Off.Valid.Correct {
+		t.Fatalf("critic on valid %s not strictly above off %s", rep.On.Valid, rep.Off.Valid)
+	}
+	if rep.On.Repaired == 0 {
+		t.Fatalf("no repairs recorded; improvement %s -> %s unexplained", rep.Off.Valid, rep.On.Valid)
+	}
+	if rep.On.Exact.Correct < rep.Off.Exact.Correct {
+		t.Fatalf("critic cost exactness: on %s below off %s", rep.On.Exact, rep.Off.Exact)
+	}
+}
+
+// The report is a pure function of (model, schema, database, workload,
+// critic config): one worker and eight produce identical reports.
+func TestCriticReportWorkerInvariant(t *testing.T) {
+	u, model, qs := corruptedFixture(t)
+	qs = qs[:30]
+	one, err := EvalCriticCtx(context.Background(), model, u.Schema, u.DB, qs, 1, critic.Config{Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := EvalCriticCtx(context.Background(), model, u.Schema, u.DB, qs, 1, critic.Config{Seed: 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("report varies with worker count:\n  1: %+v\n  8: %+v", one, eight)
+	}
+}

@@ -12,7 +12,9 @@ package fault
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -210,4 +212,97 @@ func (ft *Translator) Translate(nl, schemaToks []string) []string {
 		}
 	}
 	return ft.inner.Translate(nl, schemaToks)
+}
+
+// ---------------------------------------------------------------------
+// Identifier-typo wrapper.
+// ---------------------------------------------------------------------
+
+// Typos wraps a models.Translator and mangles the column identifiers
+// in its output — the repairable-mistake generator that dbpal-eval's
+// -corrupt mode and the critic's strict-improvement tests drive.
+// Unlike the call-indexed Translator wrapper, the injector here keys
+// on a content hash of the question, so which questions get corrupted
+// is a pure function of the workload — invariant under eval worker
+// count and call order.
+type Typos struct {
+	inner models.Translator
+	inj   *Injector
+	cols  map[string]bool
+}
+
+// NewTypos wraps inner; columns is the lexicon of column names whose
+// occurrences in the decoded tokens get mangled.
+func NewTypos(inner models.Translator, inj *Injector, columns []string) *Typos {
+	cols := make(map[string]bool, len(columns))
+	for _, c := range columns {
+		cols[strings.ToLower(c)] = true
+	}
+	return &Typos{inner: inner, inj: inj, cols: cols}
+}
+
+// Name implements models.Translator.
+func (tt *Typos) Name() string { return tt.inner.Name() + "+typos" }
+
+// Train implements models.Translator (passes through uncorrupted).
+func (tt *Typos) Train(examples []models.Example) { tt.inner.Train(examples) }
+
+// Translate implements models.Translator.
+func (tt *Typos) Translate(nl, schemaToks []string) []string {
+	out := tt.inner.Translate(nl, schemaToks)
+	if tt.inj.Fires(contentIndex(nl)) {
+		return tt.mangle(out)
+	}
+	return out
+}
+
+// TranslateK surfaces the inner model's beam when it has one,
+// corrupting every candidate of a selected question alike.
+func (tt *Typos) TranslateK(nl, schemaToks []string, k int) [][]string {
+	type kTranslator interface {
+		TranslateK(nl, schemaToks []string, k int) [][]string
+	}
+	var beam [][]string
+	if inner, ok := tt.inner.(kTranslator); ok {
+		beam = inner.TranslateK(nl, schemaToks, k)
+	} else if out := tt.inner.Translate(nl, schemaToks); len(out) > 0 {
+		beam = [][]string{out}
+	}
+	if !tt.inj.Fires(contentIndex(nl)) {
+		return beam
+	}
+	res := make([][]string, len(beam))
+	for i, cand := range beam {
+		res[i] = tt.mangle(cand)
+	}
+	return res
+}
+
+// mangle drops the last character of every token that names a known
+// column ("price" -> "pric", "fleet_size" -> "fleet_siz"): an
+// unknown-column typo that fails execution but sits near its origin in
+// a repair lexicon. Short names are left alone so the typo stays
+// recognisably close to the original, and placeholders (@TABLE.COL)
+// are never touched.
+func (tt *Typos) mangle(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, tok := range toks {
+		out[i] = tok
+		if len(tok) < 4 || strings.HasPrefix(tok, "@") || !tt.cols[strings.ToLower(tok)] {
+			continue
+		}
+		out[i] = tok[:len(tok)-1]
+	}
+	return out
+}
+
+// contentIndex hashes question tokens into an injector index, so the
+// corruption decision depends only on the question itself.
+func contentIndex(nl []string) int {
+	h := fnv.New32a()
+	for _, tok := range nl {
+		_, _ = h.Write([]byte(tok)) // fnv Write cannot fail
+		_, _ = h.Write([]byte{0})
+	}
+	return int(h.Sum32() & 0x7fffffff)
 }

@@ -1,0 +1,196 @@
+package runtime
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/critic"
+	"repro/internal/sqlast"
+)
+
+// criticTranslator builds a translator whose finalization runs through
+// a critic over the patients database.
+func criticTranslator(t *testing.T, cfg critic.Config) *Translator {
+	t.Helper()
+	db := benchDB(t)
+	tr := NewTranslator(db, oracleModel{})
+	tr.Critic = critic.New(db, cfg)
+	return tr
+}
+
+// criticRecHook captures every critic-breaker consultation.
+type criticRecHook struct {
+	allowErr error
+	allowed  int
+	recorded []error
+}
+
+func (h *criticRecHook) Allow() error { h.allowed++; return h.allowErr }
+func (h *criticRecHook) Record(err error) {
+	h.recorded = append(h.recorded, err)
+}
+
+// A valid later candidate beats an invalid top-1: the critic reranks
+// the beam validity-first instead of answering with the first parse.
+func TestFinalizeCriticRerank(t *testing.T) {
+	tr := criticTranslator(t, critic.Config{Seed: 1})
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	bad := strings.Fields("SELECT xqzw FROM patients")
+	good := strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	trace := &Trace{}
+	q, err := tr.FinalizeCandidates([][]string{bad, good}, anon.Bindings, trace)
+	if err != nil || q == nil || !strings.Contains(q.String(), "name") {
+		t.Fatalf("FinalizeCandidates = (%v, %v)", q, err)
+	}
+	if len(trace.CriticVerdicts) != 2 || !strings.HasPrefix(trace.CriticVerdicts[0], "invalid") || trace.CriticVerdicts[1] != "valid" {
+		t.Fatalf("CriticVerdicts = %v, want [invalid..., valid]", trace.CriticVerdicts)
+	}
+	if trace.Repaired {
+		t.Fatal("no repair happened; trace.Repaired must stay false")
+	}
+}
+
+// A repairable-only beam answers via the repaired query and says so in
+// the trace.
+func TestFinalizeCriticRepairedFallback(t *testing.T) {
+	tr := criticTranslator(t, critic.Config{Seed: 1})
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	typo := strings.Fields("SELECT nme FROM patients WHERE age = @PATIENTS.AGE")
+	trace := &Trace{}
+	q, err := tr.FinalizeCandidates([][]string{typo}, anon.Bindings, trace)
+	if err != nil || q == nil {
+		t.Fatalf("FinalizeCandidates = (%v, %v)", q, err)
+	}
+	if !strings.Contains(q.String(), "name") {
+		t.Fatalf("repair did not fix the identifier: %s", q)
+	}
+	if !trace.Repaired {
+		t.Fatalf("trace.Repaired = false, verdicts %v", trace.CriticVerdicts)
+	}
+}
+
+// Any valid candidate beats any repaired one, regardless of beam order.
+func TestFinalizeCriticValidBeatsRepaired(t *testing.T) {
+	tr := criticTranslator(t, critic.Config{Seed: 1})
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	typo := strings.Fields("SELECT nme FROM patients")
+	good := strings.Fields("SELECT diagnosis FROM patients WHERE age = @PATIENTS.AGE")
+	trace := &Trace{}
+	q, err := tr.FinalizeCandidates([][]string{typo, good}, anon.Bindings, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "diagnosis") {
+		t.Fatalf("valid candidate must beat earlier repaired one, got %s", q)
+	}
+	if trace.Repaired {
+		t.Fatal("answered with the valid candidate; trace.Repaired must stay false")
+	}
+}
+
+// A beam with nothing usable fails with the typed RejectedError
+// carrying every verdict.
+func TestFinalizeCriticRejectedError(t *testing.T) {
+	tr := criticTranslator(t, critic.Config{Seed: 1})
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	junk := strings.Fields("SELECT xqzw FROM patients")
+	garbled := strings.Fields("WHERE WHERE ( SELECT")
+	_, err := tr.FinalizeCandidates([][]string{junk, garbled}, anon.Bindings, &Trace{})
+	var rej *RejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want *RejectedError", err)
+	}
+	if len(rej.Verdicts) != 2 {
+		t.Fatalf("Verdicts = %v, want one per candidate", rej.Verdicts)
+	}
+	if !strings.Contains(err.Error(), "invalid") {
+		t.Fatalf("error must summarize verdicts: %v", err)
+	}
+}
+
+// When the hook denies (breaker open), the critic is skipped entirely
+// and finalization degrades to the unvalidated path — answers keep
+// flowing through an engine meltdown.
+func TestFinalizeCriticHookDegrades(t *testing.T) {
+	tr := criticTranslator(t, critic.Config{Seed: 1})
+	hook := &criticRecHook{allowErr: errors.New("critic breaker open")}
+	tr.CriticHook = hook
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	good := strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	trace := &Trace{}
+	q, err := tr.FinalizeCandidates([][]string{good}, anon.Bindings, trace)
+	if err != nil || q == nil {
+		t.Fatalf("degraded finalize = (%v, %v)", q, err)
+	}
+	if hook.allowed != 1 || len(hook.recorded) != 0 {
+		t.Fatalf("hook = %+v, want one Allow and no Record", hook)
+	}
+	if len(trace.CriticVerdicts) != 1 || !strings.HasPrefix(trace.CriticVerdicts[0], "skipped:") {
+		t.Fatalf("CriticVerdicts = %v, want the skip note", trace.CriticVerdicts)
+	}
+}
+
+// The hook's Record sees a non-nil error exactly when the sandbox
+// itself failed — candidate rejections must not feed the breaker —
+// and a sandbox failure degrades the candidate to an unvalidated
+// answer instead of rejecting the request.
+func TestFinalizeCriticHookRecordsInfraOnly(t *testing.T) {
+	db := benchDB(t)
+	tr := NewTranslator(db, oracleModel{})
+	tr.Critic = critic.New(db, critic.Config{
+		Seed: 1,
+		Exec: func(q *sqlast.Query, budget int) error { panic("injected engine panic") },
+	})
+	hook := &criticRecHook{}
+	tr.CriticHook = hook
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	junk := strings.Fields("SELECT xqzw FROM patients")                            // rejected statically: Record(nil)
+	sound := strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE") // hits the panicking engine: Record(infra)
+	trace := &Trace{}
+	q, err := tr.FinalizeCandidates([][]string{junk, sound}, anon.Bindings, trace)
+	if err != nil || q == nil || !strings.Contains(q.String(), "name") {
+		t.Fatalf("sandbox failure must degrade, not reject: (%v, %v)", q, err)
+	}
+	if len(hook.recorded) != 2 || hook.recorded[0] != nil || hook.recorded[1] == nil {
+		t.Fatalf("recorded = %v, want [nil, infra]", hook.recorded)
+	}
+	if len(trace.CriticVerdicts) != 2 || !strings.HasPrefix(trace.CriticVerdicts[1], "sandbox_error") {
+		t.Fatalf("CriticVerdicts = %v, want the sandbox failure on record", trace.CriticVerdicts)
+	}
+}
+
+// A beam whose only statically-sound candidate dies in the sandbox
+// still answers — but a genuinely valid candidate anywhere in the
+// beam beats the degraded one.
+func TestFinalizeCriticValidBeatsDegraded(t *testing.T) {
+	db := benchDB(t)
+	tr := NewTranslator(db, oracleModel{})
+	tr.Critic = critic.New(db, critic.Config{
+		Seed: 1,
+		Exec: func(q *sqlast.Query, budget int) error {
+			if strings.Contains(q.String(), "diagnosis") {
+				panic("injected engine panic")
+			}
+			_, err := db.ExecuteBudget(q, budget)
+			return err
+		},
+	})
+	anon := mustAnon(t, tr.PH, "show the names of all patients with age 80")
+
+	doomed := strings.Fields("SELECT diagnosis FROM patients")
+	good := strings.Fields("SELECT name FROM patients WHERE age = @PATIENTS.AGE")
+	q, err := tr.FinalizeCandidates([][]string{doomed, good}, anon.Bindings, &Trace{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(q.String(), "name") {
+		t.Fatalf("valid candidate must beat the sandbox-degraded one, got %s", q)
+	}
+}

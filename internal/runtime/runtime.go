@@ -17,6 +17,7 @@ import (
 	"unicode"
 	"unicode/utf8"
 
+	"repro/internal/critic"
 	"repro/internal/engine"
 	"repro/internal/lemma"
 	"repro/internal/models"
@@ -443,6 +444,37 @@ type Translator struct {
 	// without paying its Deadline); Record is told the outcome of
 	// every tier that did run.
 	Hook TierHook
+	// Critic, when non-nil, is the execution-guided
+	// validation-and-repair layer: every finalized candidate passes
+	// through it before it can become the answer — including cache
+	// replays, whose re-bound constants are validated too. The beam is
+	// reranked validity-first: a valid candidate beats a repaired one
+	// at any rank, and both beat everything else; when the critic
+	// rejects every candidate, finalization fails with a typed
+	// *RejectedError.
+	Critic *critic.Critic
+	// CriticHook, when non-nil alongside Critic, gates and observes
+	// critic reviews — the serving layer's per-tenant critic breaker
+	// plugs in here. Allow returning a non-nil error skips validation
+	// for the finalization (degrading to unvalidated answering, the
+	// pre-critic behaviour). Record is called once per candidate
+	// reviewed; its error is non-nil only for sandbox infrastructure
+	// failures (engine panic or dry-run deadline), never for a merely
+	// invalid candidate — a storm of bad SQL must not open the
+	// breaker.
+	CriticHook CriticHook
+}
+
+// CriticHook gates and observes critic reviews per finalization. Both
+// methods may be called from concurrent questions and must be safe
+// for concurrent use.
+type CriticHook interface {
+	// Allow is consulted once per finalization; a non-nil error skips
+	// validation, recording the reason in Trace.CriticVerdicts.
+	Allow() error
+	// Record reports each candidate review; err is non-nil only when
+	// the sandbox itself failed (engine panic or timeout).
+	Record(err error)
 }
 
 // TierHook gates and observes the degradation chain per tier. Both
@@ -488,6 +520,15 @@ type Trace struct {
 	// question ("hit", "miss", "coalesced"); empty when no cache is in
 	// front of the translator.
 	Cache string
+	// CriticVerdicts records the critic's ruling per candidate in beam
+	// order ("valid", "repaired(identifier)", "invalid: ...",
+	// "skipped: ..."); empty when no critic is configured.
+	CriticVerdicts []string
+	// Repaired marks that the answering query needed critic repair.
+	Repaired bool
+	// CriticNS is the total dry-run sandbox time the critic spent on
+	// this request, in nanoseconds.
+	CriticNS int64
 }
 
 // String renders the trace as an indented lifecycle report.
@@ -505,6 +546,12 @@ func (t *Trace) String() string {
 	}
 	if t.Cache != "" {
 		fmt.Fprintf(&b, "cache:      %s\n", t.Cache)
+	}
+	for _, cv := range t.CriticVerdicts {
+		fmt.Fprintf(&b, "  critic:   %s\n", cv)
+	}
+	if t.Repaired {
+		fmt.Fprintf(&b, "repaired:   true\n")
 	}
 	if t.Tier != "" {
 		fmt.Fprintf(&b, "tier:       %s\n", t.Tier)
@@ -631,7 +678,7 @@ func (tr *Translator) TranslatePrepared(ctx context.Context, nl []string, bindin
 		trace = &Trace{}
 	}
 	if primary != nil {
-		q, err := tr.FinalizeCandidates(primary.Candidates, bindings, trace)
+		q, err := tr.FinalizeCandidatesContext(ctx, primary.Candidates, bindings, trace)
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", ErrStaleCandidates, err)
 		}
@@ -727,19 +774,46 @@ func (tr *Translator) tryTier(ctx context.Context, model models.Translator, nl [
 	if trace.ModelOut == nil {
 		trace.ModelOut = candidates[0]
 	}
-	q, err = tr.FinalizeCandidates(candidates, bindings, trace)
+	q, err = tr.FinalizeCandidatesContext(tctx, candidates, bindings, trace)
 	return q, candidates, err
+}
+
+// RejectedError reports that the critic reviewed every candidate in
+// the beam and none came out usable — no candidate was valid as
+// decoded and none became valid under repair. Verdicts holds the
+// per-candidate rulings in beam order; the serving layer maps this to
+// its typed tier-exhaustion response.
+type RejectedError struct {
+	Verdicts []string
+}
+
+// Error implements error.
+func (e *RejectedError) Error() string {
+	return "runtime: critic rejected every candidate [" + strings.Join(e.Verdicts, "; ") + "]"
 }
 
 // FinalizeCandidates is the binding-dependent tail of a translation:
 // it walks the ranked candidate token sequences and returns the first
 // that parses, post-processes against this request's bindings, and —
 // when more than one candidate is offered (execution-guided mode) —
-// executes. It is safe to call with candidates decoded for a
-// different request's constants (the result cache's replay path); a
-// panic from a pathological candidate is recovered into an error.
-// trace, when non-nil, receives the winning query in Final.
-func (tr *Translator) FinalizeCandidates(candidates [][]string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
+// executes. When a Critic is configured (and its hook, if any,
+// allows) every candidate is instead reviewed by the critic and the
+// beam is reranked validity-first: the first valid candidate wins
+// immediately, otherwise the first repaired-valid one, otherwise the
+// first candidate the sandbox itself failed on (answered unvalidated),
+// otherwise the finalization fails with *RejectedError. It is safe to call with
+// candidates decoded for a different request's constants (the result
+// cache's replay path); a panic from a pathological candidate is
+// recovered into an error. trace, when non-nil, receives the winning
+// query in Final and the critic verdicts.
+func (tr *Translator) FinalizeCandidates(candidates [][]string, bindings []Binding, trace *Trace) (*sqlast.Query, error) {
+	return tr.FinalizeCandidatesContext(context.Background(), candidates, bindings, trace)
+}
+
+// FinalizeCandidatesContext is FinalizeCandidates with the caller's
+// context threaded into the critic's sandboxed dry-runs, so a request
+// deadline bounds validation work too.
+func (tr *Translator) FinalizeCandidatesContext(ctx context.Context, candidates [][]string, bindings []Binding, trace *Trace) (q *sqlast.Query, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			q, err = nil, fmt.Errorf("runtime: finalize panicked: %v", r)
@@ -751,20 +825,20 @@ func (tr *Translator) FinalizeCandidates(candidates [][]string, bindings []Bindi
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("runtime: no candidates to finalize")
 	}
+	crit := tr.Critic
+	if crit != nil && tr.CriticHook != nil {
+		if herr := tr.CriticHook.Allow(); herr != nil {
+			trace.CriticVerdicts = append(trace.CriticVerdicts, "skipped: "+herr.Error())
+			crit = nil
+		}
+	}
+	if crit != nil {
+		return tr.finalizeCritic(ctx, crit, candidates, bindings, trace)
+	}
 	var firstErr error
 	for _, sqlToks := range candidates {
-		pq, perr := sqlast.ParseTokens(sqlToks)
+		pq, perr := tr.parseFinalize(sqlToks, bindings, &firstErr)
 		if perr != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("runtime: model output unparsable (%q): %w", strings.Join(sqlToks, " "), perr)
-			}
-			continue
-		}
-		pq, perr = PostProcess(pq, tr.DB.Schema, bindings)
-		if perr != nil {
-			if firstErr == nil {
-				firstErr = perr
-			}
 			continue
 		}
 		// In execution-guided mode a candidate must also execute.
@@ -780,6 +854,88 @@ func (tr *Translator) FinalizeCandidates(candidates [][]string, bindings []Bindi
 		return pq, nil
 	}
 	return nil, firstErr
+}
+
+// parseFinalize parses and post-processes one candidate, folding its
+// failure into firstErr. The returned error only signals "skip this
+// candidate".
+func (tr *Translator) parseFinalize(sqlToks []string, bindings []Binding, firstErr *error) (*sqlast.Query, error) {
+	pq, perr := sqlast.ParseTokens(sqlToks)
+	if perr != nil {
+		if *firstErr == nil {
+			*firstErr = fmt.Errorf("runtime: model output unparsable (%q): %w", strings.Join(sqlToks, " "), perr)
+		}
+		return nil, perr
+	}
+	pq, perr = PostProcess(pq, tr.DB.Schema, bindings)
+	if perr != nil {
+		if *firstErr == nil {
+			*firstErr = perr
+		}
+		return nil, perr
+	}
+	return pq, nil
+}
+
+// finalizeCritic is the critic-guarded finalization: every candidate
+// is reviewed (static checks, repair, sandboxed dry-run) and the beam
+// reranked validity-first. A valid candidate short-circuits the walk;
+// a repaired one is remembered as the fallback winner so a
+// repaired-valid candidate beats an invalid top-1 but never a valid
+// lower-ranked one. A candidate whose sandbox run itself failed
+// (engine panic or deadline — not a verdict on the candidate) is kept
+// as a last-resort unvalidated answer below both, so an engine
+// meltdown degrades service instead of rejecting requests.
+func (tr *Translator) finalizeCritic(ctx context.Context, crit *critic.Critic, candidates [][]string, bindings []Binding, trace *Trace) (*sqlast.Query, error) {
+	var repairedQ, degradedQ *sqlast.Query
+	var firstErr error
+	verdicts := make([]string, 0, len(candidates))
+	for _, sqlToks := range candidates {
+		pq, perr := tr.parseFinalize(sqlToks, bindings, &firstErr)
+		if perr != nil {
+			verdicts = append(verdicts, "unusable: "+perr.Error())
+			continue
+		}
+		out, outcome := crit.Review(ctx, pq)
+		if tr.CriticHook != nil {
+			var infra error
+			if outcome.Err != nil && outcome.Err.Infra() {
+				infra = outcome.Err
+			}
+			tr.CriticHook.Record(infra)
+		}
+		trace.CriticNS += outcome.DryRunNS
+		verdicts = append(verdicts, outcome.String())
+		switch outcome.Verdict {
+		case critic.VerdictValid:
+			trace.CriticVerdicts = append(trace.CriticVerdicts, verdicts...)
+			trace.Final = out
+			return out, nil
+		case critic.VerdictRepaired:
+			if repairedQ == nil {
+				repairedQ = out
+			}
+		case critic.VerdictError:
+			// The sandbox failed, not the candidate: it already passed
+			// the static checks, and the hook Record above is what
+			// trips the breaker. Answer with it unvalidated rather
+			// than failing the request for the engine's meltdown.
+			if degradedQ == nil {
+				degradedQ = pq
+			}
+		}
+	}
+	trace.CriticVerdicts = append(trace.CriticVerdicts, verdicts...)
+	if repairedQ != nil {
+		trace.Final = repairedQ
+		trace.Repaired = true
+		return repairedQ, nil
+	}
+	if degradedQ != nil {
+		trace.Final = degradedQ
+		return degradedQ, nil
+	}
+	return nil, &RejectedError{Verdicts: verdicts}
 }
 
 // tierCandidates returns the ranked outputs of one tier: one (plain

@@ -23,6 +23,9 @@ type onboardRequest struct {
 	// enables execution-guided decoding over N candidates.
 	Fallback   bool `json:"fallback,omitempty"`
 	ExecGuided int  `json:"execguided,omitempty"`
+	// Critic overrides the server's critic setting for this tenant
+	// (absent = inherit the server configuration).
+	Critic *bool `json:"critic,omitempty"`
 }
 
 // schemasResponse is the GET /schemas body.
@@ -70,13 +73,20 @@ func (s *Server) handleOnboard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, KindValidation, 0, "schema is required")
 		return
 	}
+	criticOn := s.cfg.Critic
+	if req.Critic != nil {
+		criticOn = *req.Critic
+	}
 	spec := boot.Spec{
-		Schema:     req.Schema,
-		Model:      req.Model,
-		Seed:       req.Seed,
-		Rows:       req.Rows,
-		Fallback:   req.Fallback,
-		ExecGuided: req.ExecGuided,
+		Schema:          req.Schema,
+		Model:           req.Model,
+		Seed:            req.Seed,
+		Rows:            req.Rows,
+		Fallback:        req.Fallback,
+		ExecGuided:      req.ExecGuided,
+		Critic:          criticOn,
+		CriticRowBudget: s.cfg.CriticRowBudget,
+		CriticTimeout:   s.cfg.CriticTimeout,
 	}
 	if _, _, rerr := boot.ResolveSchema(req.Schema, 1, 1); rerr != nil {
 		writeError(w, KindValidation, 0, "%v", rerr)

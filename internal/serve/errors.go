@@ -100,13 +100,19 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // classify maps a translation failure onto the taxonomy. Validation
-// and deadline failures are recognized by type; everything else that
-// came out of the tier chain is tier exhaustion.
+// and deadline failures are recognized by type; a critic rejection of
+// every candidate is tier exhaustion carrying the per-candidate
+// verdict summary in its message (never a generic internal error);
+// everything else that came out of the tier chain is tier exhaustion
+// too.
 func classify(err error) ErrorKind {
 	var verr *runtime.ValidationError
+	var rerr *runtime.RejectedError
 	switch {
 	case errors.As(err, &verr):
 		return KindValidation
+	case errors.As(err, &rerr):
+		return KindTierExhausted
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return KindTimeout
 	default:
@@ -115,9 +121,15 @@ func classify(err error) ErrorKind {
 }
 
 // retryable reports whether a failed translation is worth retrying on
-// the same server: transient tier failures are, malformed input and
-// expired deadlines are not.
+// the same server: transient tier failures are; malformed input,
+// expired deadlines, and critic rejections (the decode is
+// deterministic, so resubmission reproduces the same rejected beam)
+// are not.
 func retryable(err error) bool {
+	var rerr *runtime.RejectedError
+	if errors.As(err, &rerr) {
+		return false
+	}
 	switch classify(err) {
 	case KindValidation, KindTimeout:
 		return false

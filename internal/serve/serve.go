@@ -55,6 +55,7 @@ import (
 
 	"repro/internal/boot"
 	"repro/internal/cache"
+	"repro/internal/critic"
 	"repro/internal/par"
 	"repro/internal/registry"
 	"repro/internal/runtime"
@@ -95,6 +96,17 @@ type Config struct {
 	// (0 = the batcher default, 2ms). 0 or 1 disables batching.
 	BatchMax  int
 	BatchWait time.Duration
+	// Critic enables the execution-guided validation-and-repair layer
+	// for every tenant: candidates are schema-checked, sandboxed
+	// dry-run against the tenant's engine, and deterministically
+	// repaired before answering. A tenant whose Unit was assembled
+	// without a critic gets one attached at equip time, and onboarded
+	// tenants inherit these settings.
+	Critic bool
+	// CriticRowBudget caps environment rows per critic dry-run and
+	// CriticTimeout bounds one dry-run (0 = critic defaults).
+	CriticRowBudget int
+	CriticTimeout   time.Duration
 	// MinAccuracy is the onboarding eval gate: a candidate model
 	// scoring below it on the per-schema workload is rejected and the
 	// prior version keeps serving (0 disables the gate).
@@ -165,7 +177,20 @@ type tenantState struct {
 type equipment struct {
 	breakers *TierBreakers
 	batcher  *Batcher
+	// criticBreaker guards the critic's sandbox: it trips only on
+	// sandbox infrastructure failures (engine panic or dry-run
+	// deadline), and while open the tenant degrades to unvalidated
+	// answering instead of failing requests.
+	criticBreaker *Breaker
 }
+
+// criticHook adapts one Breaker to runtime.CriticHook.
+type criticHook struct{ b *Breaker }
+
+func (h criticHook) Allow() error     { return h.b.Allow() }
+func (h criticHook) Record(err error) { h.b.Record(err) }
+
+var _ runtime.CriticHook = criticHook{}
 
 // New wires the stack around a single pre-built translator — the
 // original single-tenant constructor, kept as the boot-time path for
@@ -238,6 +263,17 @@ func (s *Server) equip(_ string, v *registry.Version) {
 			MaxWait:  s.cfg.BatchWait,
 		})
 		tr.Model = batchingModel{inner: tr.Model, b: eq.batcher}
+	}
+	if s.cfg.Critic && tr.Critic == nil {
+		tr.Critic = critic.New(v.Unit.DB, critic.Config{
+			RowBudget: s.cfg.CriticRowBudget,
+			Timeout:   s.cfg.CriticTimeout,
+			Seed:      v.Unit.Spec.Seed,
+		})
+	}
+	if tr.Critic != nil && !s.cfg.DisableBreakers {
+		eq.criticBreaker = NewBreaker(s.cfg.Breaker)
+		tr.CriticHook = criticHook{b: eq.criticBreaker}
 	}
 	v.Equipment = eq
 }

@@ -161,6 +161,7 @@ func benchVariants() []struct {
 	base := func() Config { return Config{Workers: 8, Queue: 1 << 16} }
 	withCache := func(c Config) Config { c.CacheSize = 1024; return c }
 	withBatch := func(c Config, n int) Config { c.BatchMax = n; c.BatchWait = time.Millisecond; return c }
+	withCritic := func(c Config) Config { c.Critic = true; return c }
 	return []struct {
 		Name string
 		Cfg  Config
@@ -169,6 +170,8 @@ func benchVariants() []struct {
 		{"cache=off/batch=8", withBatch(base(), 8)},
 		{"cache=on/batch=off", withCache(base())},
 		{"cache=on/batch=8", withBatch(withCache(base()), 8)},
+		{"cache=off/critic=on", withCritic(base())},
+		{"cache=on/critic=on", withCritic(withCache(base()))},
 	}
 }
 
@@ -207,6 +210,10 @@ type benchBaseline struct {
 		// BatchMeanMin is the floor on the mean decode batch size under
 		// 8 concurrent clients of distinct shapes with batching on.
 		BatchMeanMin float64 `json:"batch_mean_min"`
+		// CriticP50OverheadMax is the ceiling on critic-on cold p50 /
+		// critic-off cold p50: how much latency the execution-guided
+		// validation layer may add to an uncached decode.
+		CriticP50OverheadMax float64 `json:"critic_p50_overhead_max"`
 		// ToleranceFrac is the +-fraction applied to the floors, per
 		// the serving bench contract.
 		ToleranceFrac float64 `json:"tolerance_frac"`
@@ -251,6 +258,20 @@ func TestServeBenchGate(t *testing.T) {
 			speedup, cold.P50NS, warm.P50NS, floor)
 	}
 
+	// Critic overhead: every cold decode additionally pays the static
+	// checks and a sandboxed dry-run. The ratio over the critic-off
+	// cold p50 is gated so the validation layer cannot quietly eat
+	// the hot path.
+	criticCold := measureServe(t, model, Config{Workers: 8, Queue: 1 << 16, Critic: true}, questions, 120, 1)
+	if criticCold.Failed > 0 {
+		t.Fatalf("failed requests with critic on: %d", criticCold.Failed)
+	}
+	overhead := criticCold.P50NS / cold.P50NS
+	if ceil := base.Gates.CriticP50OverheadMax * (1 + tol); overhead > ceil {
+		t.Errorf("critic p50 overhead = %.2fx (on %.0fns / off %.0fns), above gate %.2fx",
+			overhead, criticCold.P50NS, cold.P50NS, ceil)
+	}
+
 	// Batching efficacy: 8 clients, distinct shapes per request, no
 	// cache so every request decodes; the mean batch must clear the
 	// floor.
@@ -285,6 +306,6 @@ func TestServeBenchGate(t *testing.T) {
 	if floor := base.Gates.BatchMeanMin * (1 - tol); bst.MeanBatch < floor {
 		t.Errorf("mean batch = %.2f, below gate %.2f (stats %+v)", bst.MeanBatch, floor, bst)
 	}
-	t.Logf("cache-hit speedup %.1fx (cold p50 %.0fns, hit p50 %.0fns); mean batch %.2f",
-		speedup, cold.P50NS, warm.P50NS, bst.MeanBatch)
+	t.Logf("cache-hit speedup %.1fx (cold p50 %.0fns, hit p50 %.0fns); critic p50 overhead %.2fx; mean batch %.2f",
+		speedup, cold.P50NS, warm.P50NS, overhead, bst.MeanBatch)
 }

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/critic"
 	"repro/internal/registry"
 )
 
@@ -42,6 +43,11 @@ type Stats struct {
 	// the corresponding feature is off.
 	Cache   *cache.Stats  `json:"cache,omitempty"`
 	Batcher *BatcherStats `json:"batcher,omitempty"`
+	// Critic aggregates the default tenant's critic counters and
+	// CriticBreaker names its sandbox breaker's state; absent when the
+	// critic is off.
+	Critic        *critic.Stats `json:"critic,omitempty"`
+	CriticBreaker string        `json:"critic_breaker,omitempty"`
 	// Tenants is the per-tenant breakdown, keyed by tenant name.
 	Tenants map[string]TenantStats `json:"tenants"`
 }
@@ -70,10 +76,12 @@ type TenantStats struct {
 	Validation int64 `json:"validation"`
 	Retries    int64 `json:"retries"`
 
-	Tiers    map[string]int64  `json:"tiers,omitempty"`
-	Breakers map[string]string `json:"breakers,omitempty"`
-	Cache    *cache.Stats      `json:"cache,omitempty"`
-	Batcher  *BatcherStats     `json:"batcher,omitempty"`
+	Tiers         map[string]int64  `json:"tiers,omitempty"`
+	Breakers      map[string]string `json:"breakers,omitempty"`
+	Cache         *cache.Stats      `json:"cache,omitempty"`
+	Batcher       *BatcherStats     `json:"batcher,omitempty"`
+	Critic        *critic.Stats     `json:"critic,omitempty"`
+	CriticBreaker string            `json:"critic_breaker,omitempty"`
 }
 
 // Snapshot assembles the Stats for /statsz: a row per tenant, with the
@@ -115,6 +123,8 @@ func (s *Server) Snapshot() Stats {
 			}
 			st.Cache = row.Cache
 			st.Batcher = row.Batcher
+			st.Critic = row.Critic
+			st.CriticBreaker = row.CriticBreaker
 		}
 	}
 	return st
@@ -155,10 +165,19 @@ func (s *Server) tenantStats(t *registry.Tenant) TenantStats {
 			bs := eq.batcher.Snapshot()
 			row.Batcher = &bs
 		}
+		if eq.criticBreaker != nil {
+			row.CriticBreaker = eq.criticBreaker.State().String()
+		}
 	}
-	if v := t.Current(); v != nil && v.Cache != nil {
-		cs := v.Cache.Snapshot()
-		row.Cache = &cs
+	if v := t.Current(); v != nil {
+		if v.Cache != nil {
+			cs := v.Cache.Snapshot()
+			row.Cache = &cs
+		}
+		if c := v.Unit.Translator.Critic; c != nil {
+			cs := c.Snapshot()
+			row.Critic = &cs
+		}
 	}
 	return row
 }
